@@ -1,0 +1,69 @@
+"""Ablation: how conservative is the worst-case-expectation analysis?
+
+Table 1's ``v(k, D)`` bounds the expected reads per phase by a maximum
+occupancy.  The bound treats each phase in isolation; the actual
+schedule *prefetches across phases* — every ``ParRead`` grabs the
+smallest block from every disk, so a phase's "deficit" disks are
+backfilled while another phase's binding disk is being served.  This
+bench quantifies the resulting gap: even the unit-chain workload whose
+per-phase occupancy exactly matches the classical bound (lockstep runs:
+every phase is ``R`` independent blocks) measures ``v ≈ 1`` end to end.
+
+This is the *correct* reading of the paper's Tables: Table 1 is an
+upper bound on worst-case expectation, Table 3 shows reality is much
+better — and this bench shows reality is better even on the workload
+that maximizes the per-phase bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MergeJob, lemma6_read_bound, simulate_merge
+from repro.occupancy import overhead_v
+from repro.workloads import interleaved_runs
+
+from conftest import paper_scale
+
+B = 4
+
+
+def test_bound_gap(benchmark, report):
+    blocks = 120 if paper_scale() else 60
+    grid = [(2, 8), (5, 5), (5, 10), (5, 20)]
+
+    def run():
+        rows = []
+        for k, d in grid:
+            runs = interleaved_runs(k * d, blocks * B)
+            vs, bounds = [], []
+            for seed in range(3):
+                job = MergeJob.from_key_runs(runs, B, d, rng=seed)
+                stats = simulate_merge(job)
+                vs.append(stats.overhead_v)
+                bounds.append(
+                    lemma6_read_bound(job).total * d / stats.n_blocks
+                )
+            v_occ = overhead_v(k, d, n_trials=1000, rng=17)
+            rows.append((k, d, float(np.mean(vs)), float(np.mean(bounds)), v_occ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"lockstep (unit-chain) workload, {blocks} blocks/run",
+        f"{'k':>4} {'D':>4} {'measured v':>11} {'Lemma6/blocks':>14} "
+        f"{'occupancy v':>12}",
+    ]
+    for k, d, v, l6, vo in rows:
+        lines.append(f"{k:>4} {d:>4} {v:>11.3f} {l6:>14.3f} {vo:>12.3f}")
+    lines.append("measured <= Lemma6 ~ occupancy: cross-phase prefetching")
+    lines.append("absorbs the per-phase imbalance the bound charges for.")
+    report("ablation_bound_gap", "\n".join(lines))
+
+    for k, d, v, l6, vo in rows:
+        assert v <= l6 + 0.05          # the bound holds...
+        assert v <= 1.25               # ...and reality is near-optimal
+        # The per-phase bound tracks the occupancy estimate loosely: in
+        # the lockstep job each phase re-realizes the SAME start-disk
+        # draw (shifted), so 3 seeds = 3 occupancy samples vs 1000.
+        assert abs(l6 - vo) < 0.6

@@ -1,0 +1,71 @@
+"""Ablation: how tight are the occupancy bounds (Theorem 2 / Lemma 6)?
+
+Compares, across the SRM operating range:
+
+* Monte-Carlo ``C(kD, D)`` (ground truth up to sampling noise),
+* the finite-size generating-function bound (inequalities (24)-(26)),
+* the Theorem 2 case-2 asymptotic expansion,
+
+and validates Lemma 6 end to end: the simulator's measured reads never
+exceed ``I_0 + sum L'_i`` on average-case merges.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import lemma6_read_bound, simulate_merge
+from repro.occupancy import (
+    expected_max_occupancy,
+    gf_expected_max_bound,
+    theorem2_case2_bound,
+)
+from repro.workloads import random_partition_job
+
+from conftest import paper_scale
+
+
+def test_occupancy_bounds(benchmark, report):
+    trials = 4000 if paper_scale() else 1000
+    grid = [(5, 50), (20, 50), (100, 50), (20, 200), (100, 1000)]
+
+    def run():
+        rows = []
+        for k, d in grid:
+            mc = expected_max_occupancy(k * d, d, n_trials=trials, rng=5).mean / k
+            gf = gf_expected_max_bound(k * d, d) / k
+            r = k / math.log(d)
+            t2 = theorem2_case2_bound(r, d) / k
+            rows.append((k, d, mc, gf, t2))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'k':>5} {'D':>6} {'MC v':>8} {'GF bound':>9} {'Thm2 c2':>9}"]
+    for k, d, mc, gf, t2 in rows:
+        lines.append(f"{k:>5} {d:>6} {mc:>8.3f} {gf:>9.3f} {t2:>9.3f}")
+    report("ablation_bounds", "\n".join(lines))
+
+    for k, d, mc, gf, t2 in rows:
+        assert gf >= mc - 0.05          # the GF bound is a real bound
+        assert gf <= 2.0 * mc + 0.5      # ...and not absurdly loose
+
+
+def test_lemma6_bound_on_merges(benchmark, report):
+    blocks = 120 if paper_scale() else 50
+
+    def run():
+        rows = []
+        for k, d in [(2, 8), (4, 8), (2, 16)]:
+            job = random_partition_job(k, d, blocks, 8, rng=50 + k + d)
+            stats = simulate_merge(job)
+            bound = lemma6_read_bound(job)
+            rows.append((k, d, stats.total_reads, bound.total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'k':>4} {'D':>4} {'measured reads':>15} {'Lemma 6 bound':>14}"]
+    for k, d, reads, bound in rows:
+        lines.append(f"{k:>4} {d:>4} {reads:>15} {bound:>14}")
+    report("ablation_lemma6", "\n".join(lines))
+    for _, _, reads, bound in rows:
+        assert reads <= bound

@@ -1,0 +1,71 @@
+"""Ablation: memory scaling — overhead and flushing as k = R/D grows.
+
+Section 10's argument for SRM's practical optimality is that realistic
+machines have k >> 1 (many memory blocks per disk).  This bench sweeps
+k at fixed D on average-case inputs and shows v -> 1 and flushing
+vanishing, plus the §5.5 flush machinery absorbing the pressure at
+small k ("flushing on/off" is visible as blocks_flushed going to zero
+rather than a separate code path: flushing is what makes small-k merges
+correct at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import simulate_merge
+from repro.workloads import random_partition_job
+
+from conftest import paper_scale
+
+D = 16
+B = 8
+
+
+def test_memory_scaling(benchmark, report):
+    blocks_per_run = 150 if paper_scale() else 60
+    ks = [1, 2, 4, 8, 16]
+
+    def run():
+        out = {}
+        for k in ks:
+            job = random_partition_job(k, D, blocks_per_run, B, rng=100 + k)
+            out[k] = simulate_merge(job)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"D = {D}, {blocks_per_run} blocks/run, average-case inputs",
+             f"{'k':>4} {'R':>6} {'v':>8} {'flush ops':>10} {'blocks flushed':>15}"]
+    for k, stats in results.items():
+        lines.append(
+            f"{k:>4} {k * D:>6} {stats.overhead_v:>8.3f} "
+            f"{stats.flush_ops:>10} {stats.blocks_flushed:>15}"
+        )
+    report("ablation_memory", "\n".join(lines))
+
+    vs = np.array([results[k].overhead_v for k in ks])
+    # v decreases monotonically (within noise) toward 1.
+    assert np.all(np.diff(vs) <= 0.05)
+    assert vs[-1] < 1.1
+    # Flushing is a small-k phenomenon.
+    assert results[ks[0]].blocks_flushed >= results[ks[-1]].blocks_flushed
+
+
+def test_flushing_required_at_k1(benchmark, report):
+    """At k = 1 (R = D, the tightest §2.2 memory) flushing must engage."""
+    blocks_per_run = 100 if paper_scale() else 40
+
+    def run():
+        job = random_partition_job(1, D, blocks_per_run, B, rng=3)
+        return simulate_merge(job, validate=True)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_flushing",
+        f"k=1, D={D}: v = {stats.overhead_v:.3f}, flush ops = {stats.flush_ops}, "
+        f"blocks flushed = {stats.blocks_flushed}, "
+        f"M_R high-water = {stats.max_mr_occupied} (cap {D + D})",
+    )
+    assert stats.max_mr_occupied <= 2 * D
+    assert stats.overhead_v >= 1.0

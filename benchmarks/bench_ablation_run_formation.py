@@ -1,0 +1,60 @@
+"""Ablation: run formation method (memory-load sort vs replacement selection).
+
+§2.1 notes replacement selection produces runs of expected length ~2M,
+halving the run count; on nearly-sorted data it collapses the input to
+a handful of runs.  This bench sorts identical inputs both ways and
+compares run counts, merge passes and total parallel I/Os.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SRMConfig, srm_sort
+from repro.workloads import nearly_sorted, uniform_permutation
+
+from conftest import paper_scale
+
+
+def test_run_formation_ablation(benchmark, report):
+    n = 60_000 if paper_scale() else 24_000
+    cfg = SRMConfig.from_k(3, 4, 16)
+    run_length = 512
+
+    inputs = {
+        "uniform random": uniform_permutation(n, rng=1),
+        "nearly sorted (2%)": nearly_sorted(n, 0.02, rng=2),
+    }
+
+    def run():
+        rows = []
+        for iname, keys in inputs.items():
+            for method in ("load_sort", "replacement_selection"):
+                out, res = srm_sort(
+                    keys, cfg, rng=3, run_length=run_length, formation=method
+                )
+                assert np.array_equal(out, np.sort(keys))
+                rows.append(
+                    (iname, method, res.runs_formed, res.n_merge_passes,
+                     res.io.parallel_ios)
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"N = {n}, D = 4, B = 16, memory = {run_length} records",
+             f"{'input':<20} {'formation':<24} {'runs':>6} {'passes':>7} {'I/Os':>8}"]
+    for iname, method, runs, passes, ios in rows:
+        lines.append(f"{iname:<20} {method:<24} {runs:>6} {passes:>7} {ios:>8}")
+    report("ablation_run_formation", "\n".join(lines))
+
+    by = {(r[0], r[1]): r for r in rows}
+    # Replacement selection forms fewer runs on random input...
+    assert by[("uniform random", "replacement_selection")][2] < by[
+        ("uniform random", "load_sort")
+    ][2]
+    # ...and collapses nearly-sorted input to almost nothing.
+    assert by[("nearly sorted (2%)", "replacement_selection")][2] <= 3
+    assert (
+        by[("nearly sorted (2%)", "replacement_selection")][4]
+        < by[("nearly sorted (2%)", "load_sort")][4]
+    )

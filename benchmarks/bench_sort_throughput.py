@@ -1,0 +1,47 @@
+"""Throughput benchmarks: wall-clock speed of the simulation itself.
+
+Not a paper table — these time the library's three hot paths so
+performance regressions are visible:
+
+* the block-level simulator (events/second),
+* the data-moving SRM sort (records/second),
+* the DSM baseline sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import dsm_sort
+from repro.core import DSMConfig, SRMConfig, simulate_merge, srm_sort
+from repro.workloads import random_partition_job, uniform_permutation
+
+
+def test_simulator_throughput(benchmark):
+    job = random_partition_job(k=4, n_disks=8, blocks_per_run=50, block_size=8, rng=1)
+    stats = benchmark(lambda: simulate_merge(job))
+    assert stats.n_blocks == 4 * 8 * 50
+
+
+def test_srm_sort_throughput(benchmark):
+    keys = uniform_permutation(50_000, rng=2)
+    cfg = SRMConfig.from_k(4, 4, 64)
+
+    def run():
+        out, res = srm_sort(keys, cfg, rng=3)
+        return out
+
+    out = benchmark(run)
+    assert np.array_equal(out, np.sort(keys))
+
+
+def test_dsm_sort_throughput(benchmark):
+    keys = uniform_permutation(50_000, rng=2)
+    cfg = DSMConfig(n_disks=4, block_size=64, merge_order=5)
+
+    def run():
+        out, res = dsm_sort(keys, cfg, run_length=4096)
+        return out
+
+    out = benchmark(run)
+    assert np.array_equal(out, np.sort(keys))

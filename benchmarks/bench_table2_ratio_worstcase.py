@@ -1,0 +1,57 @@
+"""Table 2: the performance ratio ``C_SRM / C_DSM`` with worst-case v.
+
+Two checks are made:
+
+* feeding the *published* Table 1 overheads through equations (40)/(41)
+  must reproduce the published Table 2 almost exactly (formula fidelity);
+* feeding our *measured* Table 1 overheads must land within Monte-Carlo
+  noise of it (end-to-end fidelity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    max_abs_deviation,
+    render_comparison,
+    table1,
+    table2,
+)
+
+from conftest import paper_scale
+
+
+def test_table2_formula_fidelity(benchmark, report):
+    grid = benchmark.pedantic(lambda: table2(PAPER_TABLE1), rounds=1, iterations=1)
+    dev = max_abs_deviation(PAPER_TABLE2, grid)
+    report(
+        "table2_formula",
+        render_comparison(PAPER_TABLE2, grid)
+        + f"\n(using the paper's own v values)\nmax |paper - measured| = {dev:.3f}",
+    )
+    benchmark.extra_info["max_abs_deviation"] = dev
+    assert dev <= 0.02
+
+
+def test_table2_end_to_end(benchmark, report):
+    trials = 2000 if paper_scale() else 400
+
+    def run():
+        return table2(table1(n_trials=trials, rng=1996))
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    dev = max_abs_deviation(PAPER_TABLE2, grid)
+    report(
+        "table2",
+        render_comparison(PAPER_TABLE2, grid)
+        + f"\nmax |paper - measured| = {dev:.3f}",
+    )
+    benchmark.extra_info["max_abs_deviation"] = dev
+    assert dev <= 0.04
+    # SRM wins every cell, and the advantage grows with D (§9.2).
+    assert np.all(grid.values < 1.0)
+    for i in range(len(grid.ks)):
+        assert grid.values[i, 0] > grid.values[i, -1]

@@ -1,0 +1,56 @@
+"""Table 4: the ratio ``C'_SRM / C_DSM`` with the simulated (average-case) v.
+
+As with Table 2, both formula fidelity (paper's v values in, paper's
+ratios out) and end-to-end fidelity (our simulated v) are checked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    max_abs_deviation,
+    render_comparison,
+    table3,
+    table4,
+)
+
+from conftest import paper_scale
+
+
+def test_table4_formula_fidelity(benchmark, report):
+    grid = benchmark.pedantic(lambda: table4(PAPER_TABLE3), rounds=1, iterations=1)
+    dev = max_abs_deviation(PAPER_TABLE4, grid)
+    report(
+        "table4_formula",
+        render_comparison(PAPER_TABLE4, grid)
+        + f"\n(using the paper's own v values)\nmax |paper - measured| = {dev:.3f}",
+    )
+    assert dev <= 0.02
+
+
+def test_table4_end_to_end(benchmark, report):
+    blocks_per_run = 1000 if paper_scale() else 100
+
+    def run():
+        return table4(table3(blocks_per_run=blocks_per_run, block_size=8, rng=1996))
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    dev = max_abs_deviation(PAPER_TABLE4, grid)
+    report(
+        "table4",
+        render_comparison(PAPER_TABLE4, grid)
+        + f"\nmax |paper - measured| = {dev:.3f}",
+    )
+    benchmark.extra_info["max_abs_deviation"] = dev
+    assert dev <= 0.04
+    # SRM dominates everywhere; the average case beats Table 2's
+    # worst-case-expectation ratios in every cell.
+    assert np.all(grid.values < 1.0)
+    from repro.analysis import PAPER_TABLE2
+
+    for i, k in enumerate(grid.ks):
+        for j, d in enumerate(grid.ds):
+            assert grid.values[i, j] <= PAPER_TABLE2.value(k, d) + 0.02

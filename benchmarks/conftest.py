@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables/figures
+(or an ablation) and both *asserts* agreement with the published values
+and *emits* a paper-vs-measured report:
+
+* to stdout (bypassing pytest capture, so it lands in bench_output.txt),
+* to ``benchmarks/out/<name>.txt`` for EXPERIMENTS.md.
+
+Set ``REPRO_FULL=1`` for paper-scale parameters (slower).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def paper_scale() -> bool:
+    """True when the REPRO_FULL=1 environment flag requests full scale."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report (uncaptured) and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    stream = sys.__stdout__ or sys.stdout
+    stream.write(f"\n===== {name} =====\n{text}\n")
+    stream.flush()
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benches the emit_report helper."""
+    return emit_report

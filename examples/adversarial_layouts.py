@@ -1,0 +1,58 @@
+"""Why randomize?  Layout strategies under an adversarial workload.
+
+Section 3 of the paper: with deterministic run placement, an adversary
+can arrange for the R leading blocks to pile onto one disk, driving I/O
+throughput toward 1/D of optimal.  Randomizing each run's starting disk
+defeats this.  This example merges the same adversarial runs (perfectly
+interleaved, so all runs deplete in lockstep) under every layout
+strategy and reports the measured read overhead.
+
+Run with::
+
+    python examples/adversarial_layouts.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LayoutStrategy, MergeJob, simulate_merge
+from repro.workloads import interleaved_runs, random_partition_runs
+
+
+def measure(runs, B, D, strategy, seed=0):
+    job = MergeJob.from_key_runs(runs, B, D, strategy=strategy, rng=seed)
+    stats = simulate_merge(job)
+    return stats
+
+
+def main() -> None:
+    D, B = 8, 8
+    R = 2 * D          # k = 2: tight memory, where layout matters most
+    blocks_per_run = 64
+
+    print(f"R = {R} runs, D = {D} disks, {blocks_per_run} blocks/run\n")
+
+    workloads = {
+        "adversarial (lockstep runs)": interleaved_runs(R, blocks_per_run * B),
+        "average-case (random partition)": random_partition_runs(
+            R, blocks_per_run * B, rng=7
+        ),
+    }
+    for wname, runs in workloads.items():
+        print(f"--- workload: {wname} ---")
+        print(f"{'layout':<14} {'reads':>7} {'v':>7} {'flushed blocks':>15}")
+        for strategy in LayoutStrategy:
+            stats = measure(runs, B, D, strategy)
+            print(f"{strategy.value:<14} {stats.total_reads:>7} "
+                  f"{stats.overhead_v:>7.2f} {stats.blocks_flushed:>15}")
+        print()
+
+    print("WORST_CASE (all runs start on disk 0) on the lockstep workload is")
+    print("the paper's §3 adversary: every phase's blocks sit on one disk, so")
+    print("reads serialize and flushing churns.  RANDOMIZED stays near v = 1")
+    print("on both workloads — that is SRM's whole trick.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Wall-clock view: the timing model and I/O-compute overlap.
+
+The paper counts parallel I/O operations; this example attaches the
+Ruemmler-Wilkes-style service-time model to show what those counts mean
+in (simulated) milliseconds on a 1996-era disk farm, and how SRM's
+prefetching (Lemma 1's guarantee that reads can be issued early) buys
+overlap headroom.
+
+Run with::
+
+    python examples/disk_timing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MergeJob, SRMConfig, simulate_merge, srm_mergesort
+from repro.disks import DISK_1996, DISK_MODERN, ParallelDiskSystem, StripedFile
+from repro.workloads import random_partition_runs
+
+
+def timed_sort(timing, n=100_000, D=8, B=64, k=4, seed=0):
+    cfg = SRMConfig.from_k(k, D, B)
+    system = ParallelDiskSystem(D, B, timing=timing)
+    keys = np.random.default_rng(seed).permutation(n)
+    infile = StripedFile.from_records(system, keys)
+    res = srm_mergesort(system, infile, cfg, rng=1)
+    return res, system.elapsed_ms
+
+
+def main() -> None:
+    print("=== SRM sort wall time under two disk generations ===")
+    for name, model in [("1996 drive", DISK_1996), ("modern drive", DISK_MODERN)]:
+        res, ms = timed_sort(model)
+        print(f"  {name:<13}: {res.io.parallel_ios:>6} parallel I/Os "
+              f"-> {ms/1000:>7.2f} s simulated "
+              f"({model.op_time_ms(64):.2f} ms/op)")
+
+    print("\n=== Prefetch headroom (demand vs eager reads) ===")
+    D, B = 8, 16
+    runs = random_partition_runs(4 * D, 80 * B, rng=5)
+    job = MergeJob.from_key_runs(runs, B, D, rng=6)
+    demand = simulate_merge(job, prefetch=False)
+    eager = simulate_merge(job, prefetch=True)
+    print(f"  demand-paced reads: {demand.total_reads:>6} "
+          f"(v = {demand.overhead_v:.3f})")
+    print(f"  eager prefetching : {eager.total_reads:>6} "
+          f"(v = {eager.overhead_v:.3f})")
+    print("\nEager mode issues the same reads earlier (case 2a of §5.5), so")
+    print("the I/O count stays essentially unchanged while reads can overlap")
+    print("internal merging — the property the paper highlights after Lemma 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Domain scenario: sorting nearly-ordered log records.
+
+External sorting's classic consumer is log/ETL processing, where input
+arrives *almost* in timestamp order.  Replacement selection (paper
+§2.1) exploits that: runs grow far beyond memory size — in the limit a
+single run — skipping merge passes entirely.  This example sorts the
+same "log file" three ways and compares total parallel I/Os:
+
+* SRM with memory-load run formation,
+* SRM with replacement-selection run formation,
+* the DSM baseline.
+
+Run with::
+
+    python examples/log_sorting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DSMConfig, SRMConfig, dsm_sort, srm_sort
+from repro.workloads import nearly_sorted, uniform_permutation
+from repro.verify import assert_sorted_permutation
+
+
+def sort_three_ways(keys: np.ndarray, k: int, D: int, B: int, run_length: int):
+    srm_cfg = SRMConfig.from_k(k, D, B)
+    dsm_cfg = DSMConfig.matching_srm(srm_cfg)
+    rows = []
+    out, res = srm_sort(keys, srm_cfg, rng=1, run_length=run_length)
+    assert_sorted_permutation(out, keys)
+    rows.append(("SRM + load-sort runs", res.runs_formed, res.n_merge_passes,
+                 res.io.parallel_ios))
+    out, res = srm_sort(keys, srm_cfg, rng=1, run_length=run_length,
+                        formation="replacement_selection")
+    assert_sorted_permutation(out, keys)
+    rows.append(("SRM + replacement sel.", res.runs_formed, res.n_merge_passes,
+                 res.io.parallel_ios))
+    out, res = dsm_sort(keys, dsm_cfg, run_length=run_length)
+    assert_sorted_permutation(out, keys)
+    rows.append(("DSM + load-sort runs", res.runs_formed, res.n_merge_passes,
+                 res.io.parallel_ios))
+    return rows
+
+
+def report(title: str, rows) -> None:
+    print(f"--- {title} ---")
+    print(f"{'method':<24} {'runs':>6} {'passes':>7} {'parallel I/Os':>14}")
+    for name, runs, passes, ios in rows:
+        print(f"{name:<24} {runs:>6} {passes:>7} {ios:>14}")
+    print()
+
+
+def main() -> None:
+    n = 60_000
+    k, D, B = 3, 4, 16
+    run_length = 16 * D * B  # deliberately small memory: many runs
+
+    print(f"N = {n}, D = {D}, B = {B}, memory-load = {run_length} records\n")
+
+    # A log file: timestamps that are 2% locally shuffled.
+    logs = nearly_sorted(n, swap_fraction=0.02, rng=3)
+    report("nearly-sorted log records", sort_three_ways(logs, k, D, B, run_length))
+
+    # The same volume of completely random records, for contrast.
+    rand = uniform_permutation(n, rng=4)
+    report("uniform random records", sort_three_ways(rand, k, D, B, run_length))
+
+    print("On nearly-sorted data replacement selection collapses the input")
+    print("to a handful of giant runs, eliminating merge passes; on random")
+    print("data it still halves the run count (expected run length 2M).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Paper-scale study: SRM vs DSM across file sizes, simulated exactly.
+
+The full-sort simulator replays SRM's exact I/O schedule without moving
+records, and the DSM cost model counts the baseline's deterministic
+schedule in closed form — so sorting hundreds of millions of records'
+worth of I/O schedule takes seconds.  This example sweeps N on the §10
+"realistic workstation" (D = 10 disks, B = 100-record blocks, tight
+memory so several passes occur) and prints the SRM/DSM ratio as the
+pass structure shifts.
+
+Run with::
+
+    python examples/paper_scale_study.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import dsm_exact_cost
+from repro.core import DSMConfig, SRMConfig, simulate_mergesort
+
+
+def main() -> None:
+    D, B, k = 10, 100, 10
+    srm_cfg = SRMConfig.from_k(k, D, B)
+    dsm_cfg = DSMConfig.matching_srm(srm_cfg)
+    M = srm_cfg.memory_records
+
+    print(f"D = {D}, B = {B}, k = {k}: memory M = {M:,} records")
+    print(f"SRM merge order R = {srm_cfg.merge_order}, "
+          f"DSM merge order = {dsm_cfg.merge_order}\n")
+    header = (f"{'N (records)':>12} {'runs':>6} {'SRM passes':>11} "
+              f"{'DSM passes':>11} {'SRM I/Os':>10} {'DSM I/Os':>10} "
+              f"{'ratio':>6} {'v':>6}")
+    print(header)
+
+    for n in (200_000, 1_000_000, 4_000_000, 16_000_000):
+        sim = simulate_mergesort(n, srm_cfg, run_length=M, rng=1)
+        dsm = dsm_exact_cost(n, M, dsm_cfg)
+        ratio = sim.parallel_ios / dsm.parallel_ios
+        print(f"{n:>12,} {sim.runs_formed:>6} {sim.n_merge_passes:>11} "
+              f"{dsm.n_merge_passes:>11} {sim.parallel_ios:>10,} "
+              f"{dsm.parallel_ios:>10,} {ratio:>6.2f} "
+              f"{sim.mean_overhead_v:>6.3f}")
+
+    print("\nThe ratio drops each time DSM needs a pass SRM does not; once")
+    print("merges are non-trivial, SRM's measured per-merge overhead v sits")
+    print("within a few percent of 1 — the Table 3 story at full-sort scale.")
+    print("(At N = 200k only 8 runs exist: merging fewer runs than disks is")
+    print("the k < 1 corner where SRM has no room to win — and the paper's")
+    print("§10 point is precisely that real machines sit at k >> 1.)")
+
+
+if __name__ == "__main__":
+    main()

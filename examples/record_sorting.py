@@ -1,0 +1,53 @@
+"""Sorting real records: keys with payloads, stably.
+
+The paper sorts "records" identified by keys; a practical library must
+carry the rest of the record along.  Here payloads are int64 handles
+(row ids into an external table, offsets into a blob store, ...) that
+travel with their keys through run formation, every merge pass, and the
+final output — and the sort is *stable*: ties keep input order.
+
+Run with::
+
+    python examples/record_sorting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import external_sort_records
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 50_000
+
+    # An "orders" table: timestamps with heavy duplication (many orders
+    # per second) and a payload handle pointing at the full row.
+    timestamps = rng.integers(0, 5000, size=n)
+    row_ids = np.arange(n)
+
+    out_ts, out_rows, stats = external_sort_records(
+        timestamps, row_ids,
+        memory_records=4096, n_disks=8, block_size=64, rng=1,
+    )
+
+    print(f"sorted {stats.n_records} records "
+          f"(R={stats.merge_order}, {stats.merge_passes} merge passes, "
+          f"{stats.parallel_ios} parallel I/Os)")
+
+    # Verify: payloads landed next to their keys...
+    assert np.array_equal(out_ts, np.sort(timestamps))
+    assert np.array_equal(timestamps[out_rows], out_ts)
+    # ...and equal keys kept their input order (stability).
+    expect = np.argsort(timestamps, kind="stable")
+    assert np.array_equal(out_rows, expect)
+    print("payload integrity and stability verified:")
+    print(f"  first records: ts={out_ts[:6].tolist()} rows={out_rows[:6].tolist()}")
+
+    dup = int(np.bincount(timestamps).max())
+    print(f"  heaviest timestamp repeats {dup}x — all kept in arrival order")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""SRM vs DSM: the paper's §9 comparison, executed end-to-end.
+
+Both algorithms sort the same data with the same amount of internal
+memory on identical simulated disk systems; we sweep the number of
+disks D and report parallel I/O counts, pass counts, and the measured
+ratio against the paper's C_SRM/C_DSM prediction.
+
+Run with::
+
+    python examples/srm_vs_dsm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DSMConfig, SRMConfig, dsm_sort, srm_sort
+from repro.analysis import c_ratio
+
+
+def compare(n_records: int, k: int, n_disks: int, block_size: int, seed: int = 1):
+    keys = np.random.default_rng(seed).permutation(n_records)
+    srm_cfg = SRMConfig.from_k(k, n_disks, block_size)
+    dsm_cfg = DSMConfig.matching_srm(srm_cfg)
+    # Short initial runs so several merge passes happen and the
+    # merge-order difference matters (the paper's regime N >> M).
+    run_length = 8 * n_disks * block_size
+
+    srm_out, srm = srm_sort(keys, srm_cfg, rng=seed, run_length=run_length)
+    dsm_out, dsm = dsm_sort(keys, dsm_cfg, run_length=run_length)
+    assert np.array_equal(srm_out, dsm_out)
+
+    # Average measured per-pass read overhead v across SRM's merges.
+    v = float(np.mean([s.overhead_v for s in srm.merge_schedules]))
+    predicted = c_ratio(k, n_disks, block_size, max(v, 1.0))
+    measured = srm.io.parallel_ios / dsm.io.parallel_ios
+    return srm, dsm, v, predicted, measured
+
+
+def main() -> None:
+    n_records = 120_000
+    k, block_size = 4, 16
+    print(f"N = {n_records}, k = {k}, B = {block_size}; same memory for both\n")
+    header = (f"{'D':>4} {'R_SRM':>6} {'R_DSM':>6} {'SRM passes':>11} "
+              f"{'DSM passes':>11} {'SRM I/Os':>9} {'DSM I/Os':>9} "
+              f"{'measured':>9} {'C-ratio':>8}")
+    print(header)
+    for D in (2, 4, 8, 16):
+        srm, dsm, v, predicted, measured = compare(n_records, k, D, block_size)
+        print(f"{D:>4} {srm.config.merge_order:>6} {dsm.config.merge_order:>6} "
+              f"{srm.n_merge_passes:>11} {dsm.n_merge_passes:>11} "
+              f"{srm.io.parallel_ios:>9} {dsm.io.parallel_ios:>9} "
+              f"{measured:>9.2f} {predicted:>8.2f}")
+    print("\nmeasured < 1 means SRM used fewer parallel I/Os than DSM.")
+    print("C-ratio is the paper's asymptotic prediction (eqs. 40-41); the")
+    print("measured ratio sits above it at this small N because both share")
+    print("the fixed run-formation cost the ratio ignores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,206 @@
+"""Closed-form I/O cost expressions (paper §9.1, Theorem 1).
+
+All formulas follow the paper's convention of dropping ceilings on
+logarithmic pass counts (footnote 2) and counting parallel I/O
+operations on ``N`` records with memory ``M``, block size ``B`` and
+``D`` disks, with the merge-order parametrization ``R = kD``.
+
+Central quantities:
+
+* ``C_SRM = (1 + v) / ln(kD)``  (eq. 40) — total SRM I/Os are
+  ``(N/DB)(2 + C_SRM ln(N/M))``; ``v = v(k, D)`` is the per-pass read
+  overhead (Table 1 worst-case-expectation or Table 3 average-case).
+* ``C_DSM = 2 / ln(k + 1 + kD/2B)``  (eq. 41) — same shape for DSM,
+  whose reads and writes are both perfect but whose merge order is only
+  ``k + 1 + kD/2B``.
+* The ratio ``C_SRM / C_DSM`` is Tables 2 and 4's figure of merit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from ..occupancy.bounds import gf_expected_max_bound
+
+__all__ = [
+    "c_srm",
+    "c_dsm",
+    "c_ratio",
+    "dsm_merge_order_formula",
+    "srm_total_ios",
+    "dsm_total_ios",
+    "merge_passes",
+    "srm_write_ios",
+    "theorem1_case1_reads",
+    "theorem1_case3_reads",
+    "gf_expected_reads_bound",
+]
+
+
+def _check_kd(k: float, n_disks: int) -> None:
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    if n_disks < 1:
+        raise ConfigError(f"need at least one disk, got {n_disks}")
+    if k * n_disks <= 1:
+        raise ConfigError(f"merge order kD = {k * n_disks} must exceed 1")
+
+
+def c_srm(k: float, n_disks: int, v: float) -> float:
+    """Equation (40): ``C_SRM = (1 + v) / ln(kD)``."""
+    _check_kd(k, n_disks)
+    if v < 1.0:
+        raise ConfigError(f"overhead v must be >= 1, got {v}")
+    return (1.0 + v) / math.log(k * n_disks)
+
+
+def dsm_merge_order_formula(k: float, n_disks: int, block_size: int) -> float:
+    """DSM's merge order under SRM's memory: ``k + 1 + kD/2B`` (§9.1)."""
+    return k + 1 + k * n_disks / (2 * block_size)
+
+
+def c_dsm(k: float, n_disks: int, block_size: int) -> float:
+    """Equation (41): ``C_DSM = 2 / ln(k + 1 + kD/2B)``."""
+    _check_kd(k, n_disks)
+    order = dsm_merge_order_formula(k, n_disks, block_size)
+    if order <= 1:
+        raise ConfigError(f"DSM merge order {order} must exceed 1")
+    return 2.0 / math.log(order)
+
+
+def c_ratio(k: float, n_disks: int, block_size: int, v: float) -> float:
+    """``C_SRM / C_DSM`` — the Tables 2/4 figure of merit (< 1: SRM wins)."""
+    return c_srm(k, n_disks, v) / c_dsm(k, n_disks, block_size)
+
+
+def merge_passes(n_records: float, memory_records: float, merge_order: float) -> float:
+    """Merge passes after run formation: ``ln(N/M) / ln(R)`` (no ceiling)."""
+    if n_records <= memory_records:
+        return 0.0
+    if merge_order <= 1:
+        raise ConfigError(f"merge order {merge_order} must exceed 1")
+    return math.log(n_records / memory_records) / math.log(merge_order)
+
+
+def srm_write_ios(
+    n_records: float, memory_records: float, n_disks: int, block_size: int, k: float
+) -> float:
+    """SRM's writes: ``(N/DB)(1 + ln(N/M)/ln(kD))`` — perfect parallelism."""
+    per_pass = n_records / (n_disks * block_size)
+    return per_pass * (1.0 + merge_passes(n_records, memory_records, k * n_disks))
+
+
+def srm_total_ios(
+    n_records: float,
+    memory_records: float,
+    n_disks: int,
+    block_size: int,
+    k: float,
+    v: float,
+) -> float:
+    """Total SRM I/Os: ``(N/DB)(2 + C_SRM · ln(N/M))`` (§9.1).
+
+    The leading 2 is the shared run-formation read+write pass.
+    """
+    per_pass = n_records / (n_disks * block_size)
+    if n_records <= memory_records:
+        return 2.0 * per_pass
+    return per_pass * (
+        2.0 + c_srm(k, n_disks, v) * math.log(n_records / memory_records)
+    )
+
+
+def dsm_total_ios(
+    n_records: float,
+    memory_records: float,
+    n_disks: int,
+    block_size: int,
+    k: float,
+) -> float:
+    """Total DSM I/Os: ``(N/DB)(2 + C_DSM · ln(N/M))`` (§9.1)."""
+    per_pass = n_records / (n_disks * block_size)
+    if n_records <= memory_records:
+        return 2.0 * per_pass
+    return per_pass * (
+        2.0 + c_dsm(k, n_disks, block_size) * math.log(n_records / memory_records)
+    )
+
+
+def theorem1_case1_reads(
+    n_records: float,
+    memory_records: float,
+    n_disks: int,
+    block_size: int,
+    k: float,
+) -> float:
+    """Theorem 1 case 1 (``R = kD``): expected read upper bound.
+
+    ``N/DB + (N/DB) · (ln(N/M)/ln kD) · (ln D / (k ln ln D)) · (1 + ...)``
+    with the ``O(·)`` term dropped.  Asymptotic in ``D``; requires
+    ``D > e^e`` for the inner logs to be positive.
+    """
+    if n_disks <= 15:
+        raise ConfigError("case-1 expansion needs ln ln D comfortably > 0 (D > 15)")
+    per_pass = n_records / (n_disks * block_size)
+    if n_records <= memory_records:
+        return per_pass
+    ln_d = math.log(n_disks)
+    lnln_d = math.log(ln_d)
+    correction = (
+        1.0 + math.log(lnln_d) / lnln_d + (1.0 + math.log(k)) / lnln_d
+    )
+    return per_pass + per_pass * (
+        math.log(n_records / memory_records) / math.log(k * n_disks)
+    ) * (ln_d / (k * lnln_d)) * correction
+
+
+def theorem1_case3_reads(
+    n_records: float,
+    memory_records: float,
+    n_disks: int,
+    block_size: int,
+    r: float,
+) -> float:
+    """Theorem 1 case 3 (``R = rD ln D``): asymptotically optimal bound.
+
+    ``N/DB + (N/DB) · (ln(N/M)/ln(rD ln D)) · (1 + sqrt(2/r) + ...)``.
+    """
+    if r <= 0:
+        raise ConfigError(f"r must be positive, got {r}")
+    if n_disks < 2:
+        raise ConfigError("case-3 expansion requires D >= 2")
+    per_pass = n_records / (n_disks * block_size)
+    if n_records <= memory_records:
+        return per_pass
+    big_r = r * n_disks * math.log(n_disks)
+    factor = 1.0 + math.sqrt(2.0 / r) + math.log(r) / (
+        math.sqrt(2.0 * r) * math.log(n_disks)
+    )
+    return per_pass + per_pass * (
+        math.log(n_records / memory_records) / math.log(big_r)
+    ) * factor
+
+
+def gf_expected_reads_bound(
+    n_records: float,
+    memory_records: float,
+    n_disks: int,
+    block_size: int,
+    merge_order: int,
+) -> float:
+    """Rigorous finite-parameter expected-read bound via §7.3's recipe.
+
+    Each merge pass consists of ``N/(R·B)`` phases, each costing at most
+    the expected maximum dependent occupancy of ``R`` balls in ``D``
+    bins — bounded for all finite sizes by
+    :func:`repro.occupancy.gf_expected_max_bound`.  Adds the run
+    formation read pass.
+    """
+    per_pass = n_records / (n_disks * block_size)
+    if n_records <= memory_records:
+        return per_pass
+    passes = merge_passes(n_records, memory_records, merge_order)
+    phases_per_pass = n_records / (merge_order * block_size)
+    per_phase = gf_expected_max_bound(merge_order, n_disks)
+    return per_pass + passes * phases_per_pass * per_phase

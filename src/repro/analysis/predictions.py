@@ -1,0 +1,156 @@
+"""Predicted-vs-measured accounting for completed sorts.
+
+Given a finished :class:`SortResult` (or DSM equivalent), compute what
+the §9.1 formulas predicted for the same ``N``, ``M``, ``B``, ``D`` and
+merge order, and report line-by-line deviations.  Useful both as a
+regression harness (tests assert the predictions track measurements)
+and as a user-facing sanity check that a simulated configuration
+behaves like the theory says it should.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.dsm import DSMSortResult
+from ..core.mergesort import SortResult
+from .formulas import merge_passes
+
+
+@dataclass(frozen=True, slots=True)
+class SortPrediction:
+    """Formula-side expectations for one external sort."""
+
+    n_records: int
+    run_length: int
+    merge_order: int
+    n_disks: int
+    block_size: int
+    expected_runs: int
+    expected_passes: int
+    expected_writes: float
+    expected_reads_floor: float
+
+    @property
+    def expected_write_per_pass(self) -> float:
+        return self.n_records / (self.n_disks * self.block_size)
+
+
+def predict_sort(
+    n_records: int,
+    run_length: int,
+    merge_order: int,
+    n_disks: int,
+    block_size: int,
+) -> SortPrediction:
+    """Closed-form expectations for a sort with the given geometry.
+
+    * runs formed: ``ceil(N / run_length_block_aligned)``;
+    * merge passes: ``ceil(log_R runs)`` (the exact integer count, not
+      the paper's un-ceiled convenience expression);
+    * writes: one write pass per merge pass plus run formation, each
+      ``ceil(blocks / D)`` operations (perfect write parallelism);
+    * reads floor: the same quantity — SRM's reads exceed it by the
+      factor ``v >= 1``.
+    """
+    blocks_per_run = max(1, run_length // block_size)
+    n_blocks = -(-n_records // block_size)
+    runs = -(-n_blocks // blocks_per_run)
+    if runs <= 1:
+        passes = 0
+    else:
+        passes = max(1, math.ceil(math.log(runs) / math.log(merge_order) - 1e-12))
+    per_pass = -(-n_blocks // n_disks)
+    return SortPrediction(
+        n_records=n_records,
+        run_length=run_length,
+        merge_order=merge_order,
+        n_disks=n_disks,
+        block_size=block_size,
+        expected_runs=runs,
+        expected_passes=passes,
+        expected_writes=float(per_pass * (1 + passes)),
+        expected_reads_floor=float(per_pass * (1 + passes)),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class PredictionReport:
+    """Measured values next to their predictions."""
+
+    prediction: SortPrediction
+    measured_runs: int
+    measured_passes: int
+    measured_reads: int
+    measured_writes: int
+
+    @property
+    def read_overhead(self) -> float:
+        """Measured reads over the perfect-parallelism floor (>= ~1)."""
+        return self.measured_reads / self.prediction.expected_reads_floor
+
+    @property
+    def write_overhead(self) -> float:
+        """Measured writes over the prediction (~1; >1 only from
+        partial-stripe rounding across many runs)."""
+        return self.measured_writes / self.prediction.expected_writes
+
+    def render(self) -> str:
+        p = self.prediction
+        return "\n".join(
+            [
+                f"runs formed : measured {self.measured_runs}, predicted {p.expected_runs}",
+                f"merge passes: measured {self.measured_passes}, predicted {p.expected_passes}",
+                f"writes      : measured {self.measured_writes}, "
+                f"predicted {p.expected_writes:.0f} (x{self.write_overhead:.3f})",
+                f"reads       : measured {self.measured_reads}, "
+                f"floor {p.expected_reads_floor:.0f} (v = {self.read_overhead:.3f})",
+            ]
+        )
+
+
+def compare_srm_result(
+    result: SortResult, run_length: int | None = None
+) -> PredictionReport:
+    """Prediction report for a completed SRM sort."""
+    cfg = result.config
+    length = run_length if run_length is not None else cfg.memory_records
+    pred = predict_sort(
+        result.n_records, length, cfg.merge_order, cfg.n_disks, cfg.block_size
+    )
+    return PredictionReport(
+        prediction=pred,
+        measured_runs=result.runs_formed,
+        measured_passes=result.n_merge_passes,
+        measured_reads=result.io.parallel_reads,
+        measured_writes=result.io.parallel_writes,
+    )
+
+
+def compare_dsm_result(
+    result: DSMSortResult, run_length: int | None = None
+) -> PredictionReport:
+    """Prediction report for a completed DSM sort.
+
+    DSM's logical geometry is one disk of block ``D·B``: the per-pass
+    operation count is ``ceil(N / DB)`` reads and writes.
+    """
+    cfg = result.config
+    length = run_length if run_length is not None else cfg.memory_records
+    pred = predict_sort(
+        result.n_records,
+        length,
+        cfg.merge_order,
+        n_disks=1,
+        block_size=cfg.superblock_records,
+    )
+    return PredictionReport(
+        prediction=pred,
+        measured_runs=result.runs_formed,
+        measured_passes=result.n_merge_passes,
+        measured_reads=result.io.parallel_reads,
+        measured_writes=result.io.parallel_writes,
+    )

@@ -1,0 +1,112 @@
+"""Plain-text rendering of k×D grids in the paper's table format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class TableGrid:
+    """A k-by-D grid of values, like the paper's Tables 1-4.
+
+    Attributes
+    ----------
+    ks / ds:
+        Row (``k``) and column (``D``) labels.
+    values:
+        Array of shape ``(len(ks), len(ds))``.
+    title:
+        Caption shown above the rendered table.
+    """
+
+    ks: Sequence[int]
+    ds: Sequence[int]
+    values: np.ndarray
+    title: str = ""
+    #: Optional per-cell standard errors (same shape as values).
+    errors: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape != (len(self.ks), len(self.ds)):
+            raise ValueError(
+                f"values shape {self.values.shape} does not match "
+                f"({len(self.ks)}, {len(self.ds)}) labels"
+            )
+        if self.errors is not None:
+            self.errors = np.asarray(self.errors, dtype=float)
+            if self.errors.shape != self.values.shape:
+                raise ValueError(
+                    f"errors shape {self.errors.shape} does not match values"
+                )
+
+    def value(self, k: int, d: int) -> float:
+        """Cell lookup by labels."""
+        return float(self.values[list(self.ks).index(k), list(self.ds).index(d)])
+
+    def render(
+        self,
+        fmt: str = "{:.2f}",
+        col_width: int = 9,
+        show_errors: bool = False,
+    ) -> str:
+        """Render in the paper's layout: D across, k down.
+
+        With ``show_errors=True`` (and errors present) cells render as
+        ``value±err``.
+        """
+        if show_errors and self.errors is not None:
+            col_width = max(col_width, 14)
+
+        def cell(i: int, j: int) -> str:
+            v = fmt.format(self.values[i, j])
+            if show_errors and self.errors is not None:
+                return f"{v}±{fmt.format(self.errors[i, j])}"
+            return v
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " " * col_width + "".join(
+            f"{'D=' + str(d):>{col_width}}" for d in self.ds
+        )
+        lines.append(header)
+        for i, k in enumerate(self.ks):
+            row = f"{'k=' + str(k):<{col_width}}" + "".join(
+                f"{cell(i, j):>{col_width}}" for j in range(len(self.ds))
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def render_comparison(
+    paper: TableGrid, measured: TableGrid, fmt: str = "{:.2f}"
+) -> str:
+    """Side-by-side "paper / measured" rendering for EXPERIMENTS.md."""
+    if list(paper.ks) != list(measured.ks) or list(paper.ds) != list(measured.ds):
+        raise ValueError("grids have different labels")
+    lines = []
+    title = measured.title or paper.title
+    if title:
+        lines.append(f"{title} (paper / measured)")
+    width = 15
+    header = " " * 9 + "".join(f"{'D=' + str(d):>{width}}" for d in paper.ds)
+    lines.append(header)
+    for i, k in enumerate(paper.ks):
+        cells = []
+        for j in range(len(paper.ds)):
+            cells.append(
+                f"{fmt.format(paper.values[i, j])}/{fmt.format(measured.values[i, j])}"
+            )
+        lines.append(
+            f"{'k=' + str(k):<9}" + "".join(f"{c:>{width}}" for c in cells)
+        )
+    return "\n".join(lines)
+
+
+def max_abs_deviation(paper: TableGrid, measured: TableGrid) -> float:
+    """Largest absolute cellwise difference between two grids."""
+    return float(np.max(np.abs(paper.values - measured.values)))

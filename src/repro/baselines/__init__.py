@@ -1,0 +1,43 @@
+"""Baseline algorithms the paper compares against."""
+
+from .dsm import (
+    DSMPassStats,
+    DSMSortResult,
+    SuperblockRun,
+    dsm_mergesort,
+    dsm_sort,
+    merge_superblock_runs,
+    write_superblock_run,
+)
+from .dsm_model import DSMCost, dsm_exact_cost
+from .psv import (
+    PSVMergeResult,
+    PSVSortResult,
+    SingleDiskRun,
+    psv_merge,
+    psv_mergesort,
+    write_single_disk_run,
+    write_single_disk_runs_parallel,
+)
+from .single_disk import single_disk_config, single_disk_sort
+
+__all__ = [
+    "DSMPassStats",
+    "DSMSortResult",
+    "SuperblockRun",
+    "dsm_mergesort",
+    "dsm_sort",
+    "merge_superblock_runs",
+    "write_superblock_run",
+    "single_disk_config",
+    "single_disk_sort",
+    "DSMCost",
+    "dsm_exact_cost",
+    "PSVMergeResult",
+    "PSVSortResult",
+    "SingleDiskRun",
+    "psv_merge",
+    "psv_mergesort",
+    "write_single_disk_run",
+    "write_single_disk_runs_parallel",
+]

@@ -1,0 +1,384 @@
+"""One-run-per-disk merging with transposition — the Pai et al. scheme.
+
+Section 2.1 describes the merge of Pai, Schaffer and Varman [PSV94]:
+``R = D`` runs, *each resident entirely on one disk*, merged with one
+parallel read fetching the next block of every run.  Two structural
+costs follow, and this module implements both so the paper's contrast
+with SRM is executable:
+
+* **Merge order is stuck at D.**  Memory beyond the per-run buffers
+  cannot buy a wider merge, so the pass count is ``log_D`` instead of
+  SRM's ``log_{kD}``.
+* **A transposition pass between merge passes.**  The merged output
+  must be written striped to get full write bandwidth, but the next
+  pass needs each input run on a single disk again; "a mergesort based
+  on their merge scheme thus requires an extra transposition pass
+  between merge passes" — a full extra read+write of the data.
+
+The merge itself reads with good parallelism only while the runs
+deplete at similar rates; skew serializes reads against the binding
+run.  Per-run buffering of ``F`` blocks absorbs bounded skew (their
+analysis needs ``M = Ω(D^2 B)`` for efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import SRMConfig
+from ..disks.block import split_into_blocks
+from ..disks.counters import IOStats
+from ..disks.files import StripedFile
+from ..disks.system import BlockAddress, ParallelDiskSystem
+from ..errors import ConfigError, DataError
+
+
+@dataclass
+class SingleDiskRun:
+    """A sorted run stored contiguously on one disk."""
+
+    run_id: int
+    disk: int
+    addresses: list[BlockAddress]
+    n_records: int
+    block_size: int
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.addresses)
+
+
+def write_single_disk_run(
+    system: ParallelDiskSystem, keys: np.ndarray, run_id: int, disk: int
+) -> SingleDiskRun:
+    """Write sorted *keys* entirely onto *disk* (one op per block)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        raise DataError("cannot create an empty run")
+    if np.any(keys[:-1] > keys[1:]):
+        raise DataError("run keys must be sorted ascending")
+    blocks = split_into_blocks(keys, system.block_size, run_id=run_id)
+    addresses = []
+    for blk in blocks:
+        addr = system.allocate(disk)
+        system.write_stripe([(addr, blk)])
+        addresses.append(addr)
+    return SingleDiskRun(
+        run_id=run_id,
+        disk=disk,
+        addresses=addresses,
+        n_records=int(keys.size),
+        block_size=system.block_size,
+    )
+
+
+def write_single_disk_runs_parallel(
+    system: ParallelDiskSystem, run_keys: list[np.ndarray], first_run_id: int
+) -> list[SingleDiskRun]:
+    """Write up to ``D`` runs, run ``j`` onto disk ``j``, with stripe-
+    parallel writes (block ``i`` of every run in one operation) —
+    the transposition pass's write side."""
+    if len(run_keys) > system.n_disks:
+        raise ConfigError(
+            f"{len(run_keys)} runs exceed D={system.n_disks} disks"
+        )
+    per_run_blocks = [
+        split_into_blocks(np.asarray(k, dtype=np.int64), system.block_size,
+                          run_id=first_run_id + j)
+        for j, k in enumerate(run_keys)
+    ]
+    addresses: list[list[BlockAddress]] = [[] for _ in run_keys]
+    height = max(len(bs) for bs in per_run_blocks)
+    for i in range(height):
+        stripe = []
+        for j, bs in enumerate(per_run_blocks):
+            if i < len(bs):
+                addr = system.allocate(j)
+                addresses[j].append(addr)
+                stripe.append((addr, bs[i]))
+        system.write_stripe(stripe)
+    return [
+        SingleDiskRun(
+            run_id=first_run_id + j,
+            disk=j,
+            addresses=addresses[j],
+            n_records=int(np.asarray(run_keys[j]).size),
+            block_size=system.block_size,
+        )
+        for j in range(len(run_keys))
+    ]
+
+
+@dataclass
+class PSVMergeResult:
+    """Outcome of one PSV merge (output is a striped file)."""
+
+    output: StripedFile
+    parallel_reads: int
+    parallel_writes: int
+    max_buffered_blocks: int
+
+
+def psv_merge(
+    system: ParallelDiskSystem,
+    runs: list[SingleDiskRun],
+    buffer_blocks_per_run: int,
+    free_inputs: bool = True,
+) -> PSVMergeResult:
+    """Merge one-per-disk runs with stripe reads and per-run buffers.
+
+    Each parallel read fetches the next block of every run whose buffer
+    has room; the merge stalls when the run owning the globally
+    smallest record has neither buffered records nor a readable block
+    (buffer full elsewhere does not block it — its disk is its own).
+    Output is written round-robin striped (full parallelism), which is
+    precisely why a transposition is needed before the next pass.
+    """
+    if len(runs) < 2:
+        raise DataError(f"a merge needs at least 2 runs, got {len(runs)}")
+    if len({r.disk for r in runs}) != len(runs):
+        raise ConfigError("PSV requires each run on its own disk")
+    if buffer_blocks_per_run < 1:
+        raise ConfigError("need at least one buffer block per run")
+
+    start = system.stats.snapshot()
+    n = len(runs)
+    next_block = [0] * n
+    buffers: list[list[np.ndarray]] = [[] for _ in range(n)]
+    offsets = [0] * n
+    max_buffered = 0
+
+    def fill(force_run: int | None = None) -> None:
+        """One parallel read: next block of every run with buffer room.
+
+        *force_run* must receive a block even if its buffer is full
+        (it cannot be: the merge only forces when it ran dry)."""
+        nonlocal max_buffered
+        stripe = []
+        targets = []
+        for j, run in enumerate(runs):
+            if next_block[j] >= run.n_blocks:
+                continue
+            if len(buffers[j]) >= buffer_blocks_per_run and j != force_run:
+                continue
+            stripe.append(run.addresses[next_block[j]])
+            targets.append(j)
+        if not stripe:
+            return
+        blocks = system.read_stripe(stripe)
+        for j, blk in zip(targets, blocks):
+            if free_inputs:
+                system.free(runs[j].addresses[next_block[j]])
+            next_block[j] += 1
+            buffers[j].append(blk.keys)
+        max_buffered = max(max_buffered, sum(len(b) for b in buffers))
+
+    import heapq
+
+    fill()
+    heap = []
+    for j in range(n):
+        if buffers[j]:
+            heap.append((int(buffers[j][0][0]), j))
+    heapq.heapify(heap)
+
+    out_chunks: list[np.ndarray] = []
+    pending = 0
+    out_addresses: list[BlockAddress] = []
+    out_block_index = 0
+    B, D = system.block_size, system.n_disks
+    writes_buf: list[np.ndarray] = []
+
+    def drain_output(final: bool = False) -> None:
+        nonlocal pending, out_block_index
+        cap = D * B
+        while pending >= cap or (final and pending > 0):
+            data = np.concatenate(out_chunks) if len(out_chunks) > 1 else out_chunks[0]
+            take = data[: min(cap, data.size)]
+            rest = data[take.size :]
+            out_chunks.clear()
+            if rest.size:
+                out_chunks.append(rest)
+            pending = int(rest.size)
+            blocks = split_into_blocks(take, B)
+            stripe = []
+            for blk in blocks:
+                addr = system.allocate(out_block_index % D)
+                out_addresses.append(addr)
+                stripe.append((addr, blk))
+                out_block_index += 1
+            system.write_stripe(stripe)
+            if final and pending == 0:
+                break
+
+    total_records = sum(r.n_records for r in runs)
+    while heap:
+        key, j = heapq.heappop(heap)
+        limit = heap[0][0] if heap else None
+        if not buffers[j]:
+            fill(force_run=j)
+            if not buffers[j]:  # pragma: no cover - defensive
+                raise DataError(f"run {j} starved with blocks remaining")
+        data = buffers[j][0]
+        off = offsets[j]
+        if limit is None:
+            hi = data.size
+        else:
+            hi = int(np.searchsorted(data, limit, side="left"))
+            if hi <= off:
+                hi = off + 1
+        out_chunks.append(data[off:hi])
+        pending += hi - off
+        drain_output()
+        if hi == data.size:
+            buffers[j].pop(0)
+            offsets[j] = 0
+        else:
+            offsets[j] = hi
+        # Re-arm the run if it still has records (buffered or on disk).
+        if buffers[j]:
+            heapq.heappush(heap, (int(buffers[j][0][offsets[j]]), j))
+        elif next_block[j] < runs[j].n_blocks:
+            fill(force_run=j)
+            heapq.heappush(heap, (int(buffers[j][0][0]), j))
+    drain_output(final=True)
+
+    delta = system.stats.since(start)
+    out_records = total_records
+    return PSVMergeResult(
+        output=StripedFile(
+            addresses=out_addresses, n_records=out_records, block_size=B
+        ),
+        parallel_reads=delta.parallel_reads,
+        parallel_writes=delta.parallel_writes,
+        max_buffered_blocks=max_buffered,
+    )
+
+
+@dataclass
+class PSVSortResult:
+    """Outcome of a full PSV mergesort."""
+
+    output: StripedFile
+    n_records: int
+    runs_formed: int
+    n_merge_passes: int = 0
+    n_transpositions: int = 0
+    io: IOStats | None = None
+    system: ParallelDiskSystem | None = None
+
+    @property
+    def total_parallel_ios(self) -> int:
+        return self.io.parallel_ios if self.io is not None else 0
+
+    def peek_sorted(self) -> np.ndarray:
+        assert self.system is not None
+        return np.concatenate(
+            [
+                self.system.disks[a.disk].read(a.slot).keys
+                for a in self.output.addresses
+            ]
+        )
+
+
+def psv_mergesort(
+    system: ParallelDiskSystem,
+    infile: StripedFile,
+    run_length: int,
+    buffer_blocks_per_run: int = 4,
+) -> PSVSortResult:
+    """Full PSV-style sort: D-way merges with transposition passes.
+
+    Run formation writes one-per-disk runs directly (no transposition
+    needed before the first pass); every subsequent pass transposes the
+    striped outputs back onto single disks — the structural overhead
+    SRM's cyclic-striped output avoids.
+    """
+    if infile.n_records == 0:
+        raise ConfigError("cannot sort an empty file")
+    B, D = system.block_size, system.n_disks
+    if D < 2:
+        raise ConfigError("PSV needs at least two disks")
+    blocks_per_run = max(1, run_length // B)
+    if run_length < B:
+        raise ConfigError(f"run length {run_length} smaller than one block")
+    start = system.stats.snapshot()
+
+    # Run formation straight onto single disks, D at a time.
+    sorted_chunks: list[np.ndarray] = []
+    for i in range(0, infile.n_blocks, blocks_per_run):
+        chunk = infile.addresses[i : i + blocks_per_run]
+        blocks, _ = system.read_batch(chunk)
+        keys = np.concatenate([b.keys for b in blocks])
+        keys.sort(kind="stable")
+        for addr in chunk:
+            system.free(addr)
+        sorted_chunks.append(keys)
+
+    result = PSVSortResult(
+        output=infile,  # placeholder
+        n_records=infile.n_records,
+        runs_formed=len(sorted_chunks),
+    )
+
+    run_id = 0
+    # Level entries are either in-memory arrays (fresh from run
+    # formation — their one-per-disk placement below is the formation
+    # write) or striped merge outputs (whose gather-back is the
+    # transposition READ and whose re-placement is the transposition
+    # WRITE).
+    level: list[tuple[str, object]] = [("mem", k) for k in sorted_chunks]
+    while len(level) > 1:
+        next_level: list[tuple[str, object]] = []
+        transposed = False
+        for g in range(0, len(level), D):
+            group = level[g : g + D]
+            if len(group) == 1:
+                next_level.append(group[0])
+                continue
+            arrays: list[np.ndarray] = []
+            for kind, item in group:
+                if kind == "mem":
+                    arrays.append(item)  # type: ignore[arg-type]
+                else:
+                    striped: StripedFile = item  # type: ignore[assignment]
+                    blocks, _ = system.read_batch(striped.addresses)
+                    arrays.append(np.concatenate([b.keys for b in blocks]))
+                    for a in striped.addresses:
+                        system.free(a)
+                    transposed = True
+            runs = write_single_disk_runs_parallel(system, arrays, run_id)
+            run_id += len(arrays)
+            mres = psv_merge(system, runs, buffer_blocks_per_run)
+            next_level.append(("striped", mres.output))
+        result.n_merge_passes += 1
+        if transposed:
+            result.n_transpositions += 1
+        level = next_level
+
+    kind, item = level[0]
+    if kind == "striped":
+        result.output = item  # type: ignore[assignment]
+    else:
+        # Degenerate single-run input: write it out striped once.
+        final = np.asarray(item)
+        blocks = split_into_blocks(final, B)
+        addrs = []
+        stripe = []
+        for i, blk in enumerate(blocks):
+            addr = system.allocate(i % D)
+            addrs.append(addr)
+            stripe.append((addr, blk))
+            if len(stripe) == D:
+                system.write_stripe(stripe)
+                stripe = []
+        if stripe:
+            system.write_stripe(stripe)
+        result.output = StripedFile(
+            addresses=addrs, n_records=int(final.size), block_size=B
+        )
+    result.io = system.stats.since(start)
+    result.system = system
+    return result

@@ -1,0 +1,34 @@
+"""Single-disk external mergesort — the ``D = 1`` degenerate baseline.
+
+With one disk, striping is trivial and SRM's randomization does nothing:
+both algorithms collapse to the classical external mergesort.  This thin
+wrapper runs DSM with ``D = 1`` so examples and sanity tests can compare
+the multi-disk algorithms against the no-parallelism floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import DSMConfig
+from ..errors import ConfigError
+from .dsm import DSMSortResult, dsm_sort
+
+
+def single_disk_config(memory_records: int, block_size: int) -> DSMConfig:
+    """Classical mergesort configuration: one disk, merge order ``M/2B - 1``."""
+    return DSMConfig.from_memory(memory_records, n_disks=1, block_size=block_size)
+
+
+def single_disk_sort(
+    keys: np.ndarray,
+    memory_records: int,
+    block_size: int,
+) -> tuple[np.ndarray, DSMSortResult]:
+    """Sort *keys* with a classical one-disk external mergesort."""
+    if memory_records < 4 * block_size:
+        raise ConfigError(
+            f"memory of {memory_records} records is too small for B={block_size}"
+        )
+    cfg = single_disk_config(memory_records, block_size)
+    return dsm_sort(keys, cfg)

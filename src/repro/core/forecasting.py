@@ -1,0 +1,153 @@
+"""The forecasting data structure, FDS (paper §4, Definition 2).
+
+``H_i[j]`` stores the smallest key in the *smallest block of run j on
+disk i* — the chain-head key.  On every read the merger consults
+``H_i`` to pick, for each disk ``i``, the run whose chain head has the
+smallest key: that block is the "smallest block on disk i" and is what
+``ParRead`` fetches.
+
+Key provenance (why this implementation is faithful):  under cyclic
+striping, the blocks of run ``r`` on disk ``i`` form the chain
+``i0, i0 + D, i0 + 2D, ...`` and are always consumed chain-head first.
+The initial block of the run implants the keys of blocks ``0..D-1`` —
+one per chain — and every block ``b`` implants the key of block
+``b + D``, i.e. of its chain successor.  So advancing a chain pointer
+after reading its head reveals exactly the key the just-read block's
+implant carries, and flushing a block re-exposes a key the merger had
+already seen.  ``H`` therefore never contains information the real
+forecast format would not provide; a cross-check against the on-disk
+implanted tuples lives in the test suite.
+
+Each disk keeps a lazy min-heap of ``(key, run)`` candidates; entries
+are validated against ``H`` on pop, so stale entries cost ``O(log)``
+amortized instead of requiring decrease-key.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Optional
+
+from ..errors import ScheduleError
+from .job import MergeJob
+
+#: Chain exhausted — sorts after every real key.
+INF = math.inf
+
+
+class ForecastStructure:
+    """FDS plus the per-(run, disk) chain pointers it summarizes."""
+
+    def __init__(self, job: MergeJob) -> None:
+        self.job = job
+        D = job.n_disks
+        R = job.n_runs
+        self.n_disks = D
+        self.n_runs = R
+        # Hot-path caches (profiling: chain_head_block dominates).
+        self._n_blocks = [job.blocks_in_run(r) for r in range(R)]
+        self._starts = [int(s) for s in job.start_disks]
+        self._first_keys = [job.first_keys[r] for r in range(R)]
+        # Chain pointer: next on-disk position within chain (run, disk).
+        self._ptr: list[list[int]] = [[0] * D for _ in range(R)]
+        # H[d][r]: key of chain head, INF when the chain is exhausted.
+        self._h: list[list[float]] = [[INF] * R for _ in range(D)]
+        self._heaps: list[list[tuple[float, int]]] = [[] for _ in range(D)]
+        for r in range(R):
+            for d in range(D):
+                self._refresh(r, d)
+
+    # -- chain geometry ----------------------------------------------------
+
+    def _chain_start(self, run: int, disk: int) -> int:
+        return (disk - self._starts[run]) % self.n_disks
+
+    def chain_head_block(self, run: int, disk: int) -> Optional[int]:
+        """Block index of the chain head of (*run*, *disk*), if any."""
+        b = self._chain_start(run, disk) + self._ptr[run][disk] * self.n_disks
+        return b if b < self._n_blocks[run] else None
+
+    def chain_position(self, run: int, block: int) -> tuple[int, int]:
+        """The (disk, position-in-chain) of a given block of a run."""
+        disk = self.job.disk_of(run, block)
+        pos = (block - self._chain_start(run, disk)) // self.n_disks
+        return disk, pos
+
+    # -- H maintenance -----------------------------------------------------
+
+    def _refresh(self, run: int, disk: int) -> None:
+        """Recompute ``H[disk][run]`` from the chain pointer and enqueue it."""
+        b = self.chain_head_block(run, disk)
+        key = INF if b is None else int(self._first_keys[run][b])
+        self._h[disk][run] = key
+        if key != INF:
+            heapq.heappush(self._heaps[disk], (key, run))
+
+    def head_key(self, disk: int, run: int) -> float:
+        """``H_i[j]`` — the FDS entry itself."""
+        return self._h[disk][run]
+
+    def smallest_block_on_disk(self, disk: int) -> Optional[tuple[float, int, int]]:
+        """The smallest block on *disk*: ``(key, run, block)`` or ``None``.
+
+        This is the block a ``ParRead`` fetches from *disk*.
+        """
+        heap = self._heaps[disk]
+        h = self._h[disk]
+        while heap:
+            key, run = heap[0]
+            if h[run] == key:
+                block = self.chain_head_block(run, disk)
+                if block is None:  # pragma: no cover - defensive
+                    raise ScheduleError("FDS points at an exhausted chain")
+                return key, run, block
+            heapq.heappop(heap)
+        return None
+
+    def global_min_key(self) -> float:
+        """Smallest key of any on-disk block (the ``S_t`` minimum)."""
+        best = INF
+        for d in range(self.n_disks):
+            head = self.smallest_block_on_disk(d)
+            if head is not None and head[0] < best:
+                best = head[0]
+        return best
+
+    def next_block_key_of_run(self, run: int) -> float:
+        """Smallest on-disk key of *run*: ``min_i H_i[run]``.
+
+        The merger uses this to learn the first key of a run's
+        not-yet-resident leading block (Definition 1's "smallest block
+        of the run").
+        """
+        return min(self._h[d][run] for d in range(self.n_disks))
+
+    # -- transitions ---------------------------------------------------------
+
+    def advance(self, run: int, disk: int) -> None:
+        """Chain head of (*run*, *disk*) was read; expose its successor.
+
+        Models consuming the implanted key ``k_{r, b+D}`` of the block
+        just read.
+        """
+        self._ptr[run][disk] += 1
+        self._refresh(run, disk)
+
+    def push_back(self, run: int, block: int) -> None:
+        """A flushed *block* returns to its disk (§5.3 flush update).
+
+        The block becomes its chain's head again; ``H`` gets its first
+        key (which the merger knows — it read the block).
+        """
+        disk, pos = self.chain_position(run, block)
+        if pos >= self._ptr[run][disk]:
+            raise ScheduleError(
+                f"flush of run {run} block {block}: chain pointer would move forward"
+            )
+        self._ptr[run][disk] = pos
+        self._refresh(run, disk)
+
+    def chain_pointer(self, run: int, disk: int) -> int:
+        """Current chain position (used by validation)."""
+        return self._ptr[run][disk]

@@ -1,0 +1,140 @@
+"""A merge job: the block-boundary description of ``R`` striped runs.
+
+Both execution paths — the data-moving merger (:mod:`repro.core.merge`)
+and the fast I/O-count simulator (:mod:`repro.core.simulator`) — drive
+the same scheduler from the same job description: for every run, the
+smallest (``first``) and largest (``last``) key of each of its blocks,
+plus the run's starting disk.  Everything the SRM schedule does is
+determined by these boundaries; record contents between them are
+irrelevant (the paper's observation that only the relative key order
+matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, DataError
+from ..rng import RngLike
+from .layout import LayoutStrategy, choose_start_disks
+
+
+@dataclass
+class MergeJob:
+    """Block boundaries of the runs participating in one merge.
+
+    Attributes
+    ----------
+    first_keys / last_keys:
+        Per run ``r``, arrays of length ``n_blocks(r)`` holding each
+        block's smallest / largest key.
+    start_disks:
+        ``d_r`` for each run.
+    n_disks:
+        ``D``.
+    """
+
+    first_keys: list[np.ndarray]
+    last_keys: list[np.ndarray]
+    start_disks: np.ndarray
+    n_disks: int
+
+    def __post_init__(self) -> None:
+        self.start_disks = np.asarray(self.start_disks, dtype=np.int64)
+        if not (len(self.first_keys) == len(self.last_keys) == self.start_disks.size):
+            raise ConfigError("runs, boundaries and start disks must align")
+        if self.n_disks < 1:
+            raise ConfigError(f"need at least one disk, got D={self.n_disks}")
+        if self.start_disks.size == 0:
+            raise ConfigError("a merge job needs at least one run")
+        if self.start_disks.size and (
+            self.start_disks.min() < 0 or self.start_disks.max() >= self.n_disks
+        ):
+            raise ConfigError("start disks out of range")
+        for r, (fk, lk) in enumerate(zip(self.first_keys, self.last_keys)):
+            fk = np.asarray(fk, dtype=np.int64)
+            lk = np.asarray(lk, dtype=np.int64)
+            self.first_keys[r] = fk
+            self.last_keys[r] = lk
+            if fk.size == 0:
+                raise DataError(f"run {r} has no blocks")
+            if fk.shape != lk.shape:
+                raise DataError(f"run {r}: first/last key arrays differ in length")
+            if np.any(fk > lk):
+                raise DataError(f"run {r}: a block's first key exceeds its last key")
+            if np.any(lk[:-1] > fk[1:]):
+                raise DataError(f"run {r}: blocks are not in sorted run order")
+
+    # -- basic shape -------------------------------------------------------
+
+    @property
+    def n_runs(self) -> int:
+        """``R`` — the merge order of this job."""
+        return len(self.first_keys)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total blocks across all runs."""
+        return sum(int(fk.size) for fk in self.first_keys)
+
+    def blocks_in_run(self, run: int) -> int:
+        return int(self.first_keys[run].size)
+
+    def disk_of(self, run: int, block: int) -> int:
+        """Disk holding block *block* of run *run* (cyclic rule, §3)."""
+        return int((self.start_disks[run] + block) % self.n_disks)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_key_runs(
+        cls,
+        runs: Sequence[np.ndarray],
+        block_size: int,
+        n_disks: int,
+        strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+        rng: RngLike = None,
+        start_disks: Sequence[int] | None = None,
+    ) -> "MergeJob":
+        """Build a job from sorted key arrays (one per run).
+
+        Keys are cut into blocks of *block_size*; starting disks come
+        from *start_disks* if given, else from *strategy*.
+        """
+        if block_size < 1:
+            raise ConfigError(f"block size must be >= 1, got B={block_size}")
+        firsts: list[np.ndarray] = []
+        lasts: list[np.ndarray] = []
+        for r, keys in enumerate(runs):
+            keys = np.asarray(keys, dtype=np.int64)
+            if keys.size == 0:
+                raise DataError(f"run {r} is empty")
+            if np.any(keys[:-1] > keys[1:]):
+                raise DataError(f"run {r} is not sorted")
+            firsts.append(keys[::block_size].copy())
+            last_idx = np.minimum(
+                np.arange(block_size - 1, keys.size + block_size - 1, block_size),
+                keys.size - 1,
+            )
+            lasts.append(keys[last_idx].copy())
+        if start_disks is None:
+            start_disks = choose_start_disks(len(firsts), n_disks, strategy, rng)
+        return cls(
+            first_keys=firsts,
+            last_keys=lasts,
+            start_disks=np.asarray(start_disks, dtype=np.int64),
+            n_disks=n_disks,
+        )
+
+    @classmethod
+    def from_striped_runs(cls, runs: Sequence, n_disks: int) -> "MergeJob":
+        """Build a job from :class:`repro.disks.StripedRun` objects."""
+        return cls(
+            first_keys=[np.asarray(r.first_keys, dtype=np.int64) for r in runs],
+            last_keys=[np.asarray(r.last_keys, dtype=np.int64) for r in runs],
+            start_disks=np.array([r.start_disk for r in runs], dtype=np.int64),
+            n_disks=n_disks,
+        )

@@ -1,0 +1,64 @@
+"""Run-placement strategies: where each run's block 0 lands (paper §3, §8).
+
+SRM's only randomization is the choice of the starting disk ``d_r`` of
+each run — everything downstream (cyclic striping, forecasting, the
+merge itself) is deterministic.  Alternative strategies exist for
+analysis and ablation:
+
+* ``RANDOMIZED`` — the paper's SRM: each ``d_r`` i.i.d. uniform.
+* ``STAGGERED`` — the deterministic §8 variant: runs are spread evenly,
+  ``d_r = floor(r / ceil(R/D))``-style staggering so consecutive runs
+  start on the same disk in balanced groups (the paper's
+  ``d_r = 0 for r < R/D, d_r = 1 for r < 2R/D, ...``).
+* ``ROUND_ROBIN`` — ``d_r = r mod D``: maximal per-run stagger, the
+  natural "obvious" deterministic choice.
+* ``WORST_CASE`` — every run starts on disk 0: the §3 adversary for
+  which deterministic striping degrades to ``1/D`` of the I/O
+  bandwidth whenever runs deplete in lockstep.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import RngLike, ensure_rng
+
+
+class LayoutStrategy(enum.Enum):
+    """How run starting disks are chosen."""
+
+    RANDOMIZED = "randomized"
+    STAGGERED = "staggered"
+    ROUND_ROBIN = "round_robin"
+    WORST_CASE = "worst_case"
+
+
+def choose_start_disks(
+    n_runs: int,
+    n_disks: int,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Pick a starting disk for each of *n_runs* runs.
+
+    Returns an int64 array ``d`` with ``0 <= d[r] < n_disks``.
+    """
+    if n_runs < 0:
+        raise ConfigError(f"n_runs must be >= 0, got {n_runs}")
+    if n_disks < 1:
+        raise ConfigError(f"need at least one disk, got {n_disks}")
+    if strategy is LayoutStrategy.RANDOMIZED:
+        return ensure_rng(rng).integers(0, n_disks, size=n_runs, dtype=np.int64)
+    if strategy is LayoutStrategy.STAGGERED:
+        # Balanced groups: runs 0..ceil(R/D)-1 on disk 0, the next group
+        # on disk 1, etc. (§8's "uniformly staggered" placement).
+        group = max(1, -(-n_runs // n_disks))
+        return (np.arange(n_runs, dtype=np.int64) // group) % n_disks
+    if strategy is LayoutStrategy.ROUND_ROBIN:
+        return np.arange(n_runs, dtype=np.int64) % n_disks
+    if strategy is LayoutStrategy.WORST_CASE:
+        return np.zeros(n_runs, dtype=np.int64)
+    raise ConfigError(f"unknown layout strategy: {strategy!r}")

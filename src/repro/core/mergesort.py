@@ -1,0 +1,230 @@
+"""The full SRM mergesort driver (paper §2.2, §9.1).
+
+Pipeline: run formation (one pass) followed by ``ceil(log_R(runs))``
+merge passes, each merging groups of up to ``R = merge_order`` runs.
+Every pass reads each record once and writes it once; SRM's writes are
+perfectly parallel and its reads carry the occupancy overhead ``v``
+that the paper analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..disks.counters import IOStats
+from ..disks.files import StripedFile, StripedRun
+from ..disks.system import ParallelDiskSystem
+from ..errors import ConfigError
+from ..rng import RngLike, ensure_rng
+from .config import SRMConfig
+from .layout import LayoutStrategy, choose_start_disks
+from .merge import merge_runs
+from .run_formation import form_runs_load_sort, form_runs_replacement_selection
+from .schedule import ScheduleStats
+
+
+@dataclass(frozen=True, slots=True)
+class PassStats:
+    """I/O accounting of one merge pass."""
+
+    pass_index: int
+    n_merges: int
+    n_runs_in: int
+    n_runs_out: int
+    parallel_reads: int
+    parallel_writes: int
+    flush_ops: int
+    blocks_flushed: int
+
+    @property
+    def parallel_ios(self) -> int:
+        return self.parallel_reads + self.parallel_writes
+
+
+@dataclass
+class SortResult:
+    """Outcome of a full external sort."""
+
+    output: StripedRun
+    config: SRMConfig
+    n_records: int
+    runs_formed: int
+    passes: list[PassStats] = field(default_factory=list)
+    io: IOStats | None = None
+    merge_schedules: list[ScheduleStats] = field(default_factory=list)
+    #: The disk system the sort ran on (set by srm_sort / srm_mergesort)
+    #: so peek helpers can default to it.
+    system: ParallelDiskSystem | None = None
+
+    @property
+    def n_merge_passes(self) -> int:
+        return len(self.passes)
+
+    @property
+    def total_parallel_ios(self) -> int:
+        return self.io.parallel_ios if self.io is not None else 0
+
+    def _system(self, system: ParallelDiskSystem | None) -> ParallelDiskSystem:
+        sys = system if system is not None else self.system
+        if sys is None:
+            raise ConfigError("no disk system attached; pass one explicitly")
+        return sys
+
+    def peek_sorted(self, system: ParallelDiskSystem | None = None) -> np.ndarray:
+        """Read the sorted output without charging I/O (verification aid)."""
+        sys = self._system(system)
+        parts = [
+            sys.disks[a.disk].read(a.slot).keys for a in self.output.addresses
+        ]
+        return np.concatenate(parts)
+
+    def peek_sorted_records(
+        self, system: ParallelDiskSystem | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Read sorted keys and payloads without charging I/O."""
+        sys = self._system(system)
+        blocks = [
+            sys.disks[a.disk].read(a.slot) for a in self.output.addresses
+        ]
+        keys = np.concatenate([b.keys for b in blocks])
+        if blocks[0].payloads is None:
+            return keys, None
+        return keys, np.concatenate([b.payloads for b in blocks])
+
+
+def srm_mergesort(
+    system: ParallelDiskSystem,
+    infile: StripedFile,
+    config: SRMConfig,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+    rng: RngLike = None,
+    validate: bool = False,
+    prefetch: bool = False,
+    run_length: int | None = None,
+    formation: str = "load_sort",
+) -> SortResult:
+    """Sort *infile* on *system* with SRM; returns the sorted run + stats.
+
+    Parameters
+    ----------
+    config:
+        Merge order and geometry; must match the system's ``D`` and ``B``.
+    strategy:
+        Start-disk policy for runs (the paper's SRM is ``RANDOMIZED``).
+    rng:
+        Randomness source for run placement.
+    run_length:
+        Records per initial run (default: the configuration's full
+        memory, ``config.memory_records``).
+    formation:
+        ``"load_sort"`` or ``"replacement_selection"``.
+    """
+    if config.n_disks != system.n_disks or config.block_size != system.block_size:
+        raise ConfigError("config geometry does not match the disk system")
+    if infile.n_records == 0:
+        raise ConfigError("cannot sort an empty file")
+    gen = ensure_rng(rng)
+    start_stats = system.stats.snapshot()
+    length = run_length if run_length is not None else config.memory_records
+
+    if formation == "load_sort":
+        runs = form_runs_load_sort(system, infile, length, strategy, gen)
+    elif formation == "replacement_selection":
+        runs = form_runs_replacement_selection(system, infile, length, strategy, gen)
+    else:
+        raise ConfigError(f"unknown formation method {formation!r}")
+
+    result = SortResult(
+        output=runs[0],  # placeholder; replaced below
+        config=config,
+        n_records=infile.n_records,
+        runs_formed=len(runs),
+    )
+
+    R = config.merge_order
+    next_run_id = len(runs)
+    pass_index = 0
+    while len(runs) > 1:
+        pass_index += 1
+        groups = [runs[i : i + R] for i in range(0, len(runs), R)]
+        out_runs: list[StripedRun] = []
+        starts = choose_start_disks(len(groups), system.n_disks, strategy, gen)
+        reads = writes = flush_ops = blocks_flushed = n_merges = 0
+        for g, group in enumerate(groups):
+            if len(group) == 1:
+                # A leftover run passes through untouched (no I/O).
+                out_runs.append(group[0])
+                continue
+            before = system.stats.snapshot()
+            mres = merge_runs(
+                system,
+                group,
+                output_run_id=next_run_id,
+                output_start_disk=int(starts[g]),
+                validate=validate,
+                prefetch=prefetch,
+            )
+            next_run_id += 1
+            delta = system.stats.since(before)
+            reads += delta.parallel_reads
+            writes += delta.parallel_writes
+            flush_ops += mres.schedule.flush_ops
+            blocks_flushed += mres.schedule.blocks_flushed
+            n_merges += 1
+            result.merge_schedules.append(mres.schedule)
+            out_runs.append(mres.output)
+        result.passes.append(
+            PassStats(
+                pass_index=pass_index,
+                n_merges=n_merges,
+                n_runs_in=len(runs),
+                n_runs_out=len(out_runs),
+                parallel_reads=reads,
+                parallel_writes=writes,
+                flush_ops=flush_ops,
+                blocks_flushed=blocks_flushed,
+            )
+        )
+        runs = out_runs
+
+    result.output = runs[0]
+    result.io = system.stats.since(start_stats)
+    result.system = system
+    return result
+
+
+def srm_sort(
+    keys: np.ndarray,
+    config: SRMConfig,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+    rng: RngLike = None,
+    validate: bool = False,
+    run_length: int | None = None,
+    formation: str = "load_sort",
+    payloads: np.ndarray | None = None,
+) -> tuple[np.ndarray, SortResult]:
+    """Convenience: sort a key array on a fresh simulated disk system.
+
+    Returns the sorted array (read back without charging I/O) and the
+    :class:`SortResult` with all accounting.  When *payloads* are given
+    they travel with their keys; fetch them via
+    :meth:`SortResult.peek_sorted_records`.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return keys.copy(), None  # type: ignore[return-value]
+    system = ParallelDiskSystem(config.n_disks, config.block_size)
+    infile = StripedFile.from_records(system, keys, payloads=payloads)
+    result = srm_mergesort(
+        system,
+        infile,
+        config,
+        strategy=strategy,
+        rng=rng,
+        validate=validate,
+        run_length=run_length,
+        formation=formation,
+    )
+    return result.peek_sorted(system), result

@@ -1,0 +1,117 @@
+"""Phase accounting (paper §6): ``I_0``, per-phase levels, Lemma 6.
+
+The analysis splits a merge into *phases* of ``R`` blocks each, ordered
+by participation index (Definition 7), and charges the reads of phase
+``i`` to the maximum *level* ``L_i`` of the phase's blocks.  Lemma 8
+overestimates ``L_i`` by ``L'_i`` — the maximum, over disks, of the
+number of phase-``i`` blocks on one disk (all of the phase's blocks
+placed on their original disks).  Because participation order equals
+block-first-key order and cyclic striping maps each run's phase blocks
+to a *chain* of consecutive disks, ``L'_i`` is exactly the maximum
+occupancy of the dependent occupancy problem of §7.1 with ``R`` balls
+and ``D`` bins — the reduction at the core of the paper.
+
+These functions compute the quantities directly from a
+:class:`MergeJob`, so measured read counts can be checked against
+``I_0 + sum_i L'_i`` (Lemma 6) without instrumenting the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .job import MergeJob
+
+
+def initial_load_reads(job: MergeJob) -> int:
+    """``I_0``: parallel reads to load the R initial blocks (step 1).
+
+    Equals the maximum number of starting disks coinciding — the
+    classical occupancy of ``R`` balls (runs) in ``D`` bins (disks).
+    """
+    counts = np.bincount(job.start_disks, minlength=job.n_disks)
+    return int(counts.max())
+
+
+def participation_order(job: MergeJob) -> list[tuple[int, int]]:
+    """Blocks of ``R_0`` (all blocks except each run's initial block),
+    ordered by participation index (Definition 7).
+
+    Participation order is the order in which blocks' first records
+    become the *next record* of the merge, i.e. ascending block first
+    key; ties broken by run id to match the engines' tie rule.
+    """
+    entries: list[tuple[float, int, int]] = []
+    for r in range(job.n_runs):
+        fk = job.first_keys[r]
+        for b in range(1, fk.size):
+            entries.append((int(fk[b]), r, b))
+    entries.sort()
+    return [(r, b) for _, r, b in entries]
+
+
+def phase_occupancies(job: MergeJob) -> np.ndarray:
+    """``L'_i`` for every phase: the dependent-occupancy maxima.
+
+    Phase ``i`` (1-based in the paper) contains the blocks with
+    participation indices ``((i-1)R, iR]``; its ``L'`` value is the
+    maximum per-disk count of those blocks.  The final phase may hold
+    fewer than ``R`` blocks.
+    """
+    order = participation_order(job)
+    R = job.n_runs
+    maxima: list[int] = []
+    for lo in range(0, len(order), R):
+        chunk = order[lo : lo + R]
+        counts = np.zeros(job.n_disks, dtype=np.int64)
+        for r, b in chunk:
+            counts[job.disk_of(r, b)] += 1
+        maxima.append(int(counts.max()))
+    return np.asarray(maxima, dtype=np.int64)
+
+
+def phase_chain_lengths(job: MergeJob) -> list[np.ndarray]:
+    """Chain-length multiset of each phase's dependent occupancy problem.
+
+    Within one phase, consecutive blocks of the same run form one chain
+    (Definition 10); the chain lengths are what
+    :func:`repro.occupancy.dependent_max_occupancy_samples` consumes to
+    resample the phase's occupancy distribution.
+    """
+    order = participation_order(job)
+    R = job.n_runs
+    out: list[np.ndarray] = []
+    for lo in range(0, len(order), R):
+        chunk = order[lo : lo + R]
+        per_run: dict[int, int] = {}
+        for r, _ in chunk:
+            per_run[r] = per_run.get(r, 0) + 1
+        out.append(np.asarray(sorted(per_run.values()), dtype=np.int64))
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseBound:
+    """The Lemma 6 read bound and its components."""
+
+    initial_reads: int
+    phase_levels: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """``I_0 + sum_i L'_i`` — an upper bound on total parallel reads."""
+        return self.initial_reads + int(self.phase_levels.sum())
+
+    @property
+    def n_phases(self) -> int:
+        return int(self.phase_levels.size)
+
+
+def lemma6_read_bound(job: MergeJob) -> PhaseBound:
+    """Upper bound on the schedule's total parallel reads (Lemma 6 + 8)."""
+    return PhaseBound(
+        initial_reads=initial_load_reads(job),
+        phase_levels=phase_occupancies(job),
+    )

@@ -1,0 +1,218 @@
+"""Initial run formation (paper §2.1).
+
+Two classical methods are provided:
+
+* **Memory-load sort** — read ``M`` records with full read parallelism,
+  sort internally, write one striped run; repeat.  Produces
+  ``ceil(N/M)`` runs of length ``M`` (the paper's formula baseline).
+* **Replacement selection** — a heap of ``M`` records streams input to
+  output, starting a new run only when the incoming record is smaller
+  than the last one written; random inputs yield runs of expected
+  length ``2M`` (Knuth), i.e. roughly half as many runs.
+
+Both charge realistic I/O: input blocks are read stripe-parallel and
+runs are written with perfect write parallelism in forecast format.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+import numpy as np
+
+from ..disks.files import StripedFile, StripedRun
+from ..disks.system import ParallelDiskSystem
+from ..errors import ConfigError, DataError
+from ..rng import RngLike, ensure_rng
+from .layout import LayoutStrategy, choose_start_disks
+
+
+def _start_disk_stream(
+    n_disks: int, strategy: LayoutStrategy, rng: RngLike
+) -> Iterator[int]:
+    """Unbounded stream of run start disks under *strategy*."""
+    gen = ensure_rng(rng)
+    i = 0
+    while True:
+        if strategy is LayoutStrategy.RANDOMIZED:
+            yield int(gen.integers(0, n_disks))
+        elif strategy is LayoutStrategy.WORST_CASE:
+            yield 0
+        else:  # STAGGERED / ROUND_ROBIN degenerate to cycling at stream time
+            yield i % n_disks
+        i += 1
+
+
+def form_runs_load_sort(
+    system: ParallelDiskSystem,
+    infile: StripedFile,
+    run_length: int,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+    rng: RngLike = None,
+    first_run_id: int = 0,
+    free_input: bool = True,
+) -> list[StripedRun]:
+    """One pass of memory-load run formation.
+
+    Reads ``run_length``-record loads of *infile* (block-aligned; the
+    run length is rounded down to a whole number of blocks), sorts each
+    in memory, and writes it as a striped forecast-format run.
+    """
+    B = system.block_size
+    blocks_per_run = max(1, run_length // B)
+    if run_length < B:
+        raise ConfigError(
+            f"run length {run_length} is smaller than one block (B={B})"
+        )
+    if infile.n_records == 0:
+        return []
+    n_runs = -(-infile.n_blocks // blocks_per_run)
+    starts = choose_start_disks(n_runs, system.n_disks, strategy, rng)
+    runs: list[StripedRun] = []
+    for i in range(n_runs):
+        chunk = infile.addresses[i * blocks_per_run : (i + 1) * blocks_per_run]
+        blocks, _ = system.read_batch(chunk)
+        keys = np.concatenate([b.keys for b in blocks])
+        if blocks[0].payloads is not None:
+            payloads = np.concatenate([b.payloads for b in blocks])
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            payloads = payloads[order]
+        else:
+            payloads = None
+            keys.sort(kind="stable")
+        if free_input:
+            for addr in chunk:
+                system.free(addr)
+        runs.append(
+            StripedRun.from_sorted_keys(
+                system,
+                keys,
+                run_id=first_run_id + i,
+                start_disk=int(starts[i]),
+                payloads=payloads,
+            )
+        )
+    return runs
+
+
+def form_runs_replacement_selection(
+    system: ParallelDiskSystem,
+    infile: StripedFile,
+    memory_records: int,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+    rng: RngLike = None,
+    first_run_id: int = 0,
+    free_input: bool = True,
+) -> list[StripedRun]:
+    """One pass of replacement-selection run formation.
+
+    A min-heap of up to ``memory_records`` records is kept; each output
+    record is replaced by the next input record, tagged with the *next*
+    run's epoch if it is smaller than the last record written (it can no
+    longer join the current run).  Random inputs give expected run
+    length ``2·memory_records``.
+
+    Note: this is a per-record Python loop — intended for tests,
+    examples and the run-formation ablation, not for paper-scale ``N``.
+    """
+    if memory_records < 1:
+        raise ConfigError(f"memory must hold at least 1 record, got {memory_records}")
+    if infile.n_records == 0:
+        return []
+    disk_stream = _start_disk_stream(system.n_disks, strategy, rng)
+
+    # Stripe-parallel input reader (keys plus optional payloads).
+    addr_pos = 0
+
+    def refill() -> tuple[np.ndarray, np.ndarray | None] | None:
+        nonlocal addr_pos
+        if addr_pos >= infile.n_blocks:
+            return None
+        chunk = infile.addresses[addr_pos : addr_pos + system.n_disks]
+        blocks, _ = system.read_batch(chunk)
+        if free_input:
+            for addr in chunk:
+                system.free(addr)
+        addr_pos += len(chunk)
+        keys = np.concatenate([b.keys for b in blocks])
+        if blocks[0].payloads is None:
+            return keys, None
+        return keys, np.concatenate([b.payloads for b in blocks])
+
+    buf = refill()
+    buf_pos = 0
+    has_payloads = buf is not None and buf[1] is not None
+
+    def next_record() -> tuple[int, int] | None:
+        nonlocal buf, buf_pos
+        if buf is None:
+            return None
+        if buf_pos >= buf[0].size:
+            buf = refill()
+            buf_pos = 0
+            if buf is None:
+                return None
+        keys, pays = buf
+        v = int(keys[buf_pos])
+        p = int(pays[buf_pos]) if pays is not None else 0
+        buf_pos += 1
+        return v, p
+
+    # Heap of (epoch, key, arrival-sequence, payload); the sequence
+    # breaks (epoch, key) ties FIFO.
+    heap: list[tuple[int, int, int, int]] = []
+    seq = 0
+    while len(heap) < memory_records:
+        rec = next_record()
+        if rec is None:
+            break
+        heap.append((0, rec[0], seq, rec[1]))
+        seq += 1
+    heapq.heapify(heap)
+
+    runs: list[StripedRun] = []
+    run_id = first_run_id
+    current_epoch = 0
+    out: list[int] = []
+    out_pay: list[int] = []
+
+    def close_run() -> None:
+        nonlocal out, out_pay, run_id
+        if not out:
+            return
+        runs.append(
+            StripedRun.from_sorted_keys(
+                system,
+                np.asarray(out, dtype=np.int64),
+                run_id=run_id,
+                start_disk=next(disk_stream),
+                payloads=np.asarray(out_pay, dtype=np.int64) if has_payloads else None,
+            )
+        )
+        run_id += 1
+        out = []
+        out_pay = []
+
+    while heap:
+        epoch, key, _, payload = heapq.heappop(heap)
+        if epoch != current_epoch:
+            close_run()
+            current_epoch = epoch
+        out.append(key)
+        out_pay.append(payload)
+        rec = next_record()
+        if rec is not None:
+            v, p = rec
+            heapq.heappush(
+                heap, (current_epoch if v >= key else current_epoch + 1, v, seq, p)
+            )
+            seq += 1
+    close_run()
+    total = sum(r.n_records for r in runs)
+    if total != infile.n_records:
+        raise DataError(
+            f"replacement selection emitted {total} of {infile.n_records} records"
+        )
+    return runs

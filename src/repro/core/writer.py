@@ -1,0 +1,203 @@
+"""Streaming output-run writer with perfect write parallelism (§5.1).
+
+The merger appends sorted record slices; the writer cuts them into
+blocks of ``B``, implants forecast keys, and emits full ``D``-block
+stripes as single parallel writes.  SRM's output buffer ``M_W`` holds
+``2D`` blocks because stripe ``j`` can only be written once stripe
+``j+1``'s block first-keys are known (block ``i`` implants the key of
+block ``i + D``).  The writer enforces exactly that discipline and
+records its buffer high-water mark so tests can verify the ``2D`` bound.
+
+Records may carry payloads: internally the buffer is a 2-row matrix
+(keys; payloads) so both columns flow through identical slicing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..disks.block import NO_KEY, Block
+from ..disks.files import StripedRun
+from ..disks.striping import cyclic_disk
+from ..disks.system import ParallelDiskSystem
+from ..errors import DataError, ScheduleError
+
+
+class RunWriter:
+    """Accumulates merge output and writes a forecast-format striped run."""
+
+    def __init__(
+        self,
+        system: ParallelDiskSystem,
+        run_id: int,
+        start_disk: int,
+    ) -> None:
+        if not 0 <= start_disk < system.n_disks:
+            raise DataError(
+                f"start disk {start_disk} out of range for D={system.n_disks}"
+            )
+        self.system = system
+        self.run_id = run_id
+        self.start_disk = start_disk
+        #: Buffered data as (rows, n) chunks; rows = 1 (keys only) or
+        #: 2 (keys; payloads), fixed by the first append.
+        self._chunks: list[np.ndarray] = []
+        self._rows: int | None = None
+        self._pending = 0
+        self._next_block = 0
+        self._addresses: list = []
+        self._first_keys: list[int] = []
+        self._last_keys: list[int] = []
+        self._n_records = 0
+        self._finalized = False
+        #: High-water mark of buffered blocks (must stay <= 2D + 1
+        #: transiently, <= 2D at rest).
+        self.max_buffered_blocks = 0
+        self._last_appended: int | None = None
+
+    # -- ingest ----------------------------------------------------------
+
+    def append(self, keys: np.ndarray, payloads: np.ndarray | None = None) -> None:
+        """Append a sorted slice of output records (with optional payloads)."""
+        if self._finalized:
+            raise ScheduleError("append after finalize")
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        rows = 1 if payloads is None else 2
+        if self._rows is None:
+            self._rows = rows
+        elif self._rows != rows:
+            raise DataError("payload presence must be consistent across appends")
+        if payloads is not None:
+            payloads = np.asarray(payloads, dtype=np.int64)
+            if payloads.shape != keys.shape:
+                raise DataError("payloads must align with keys")
+        if self._last_appended is not None and keys[0] < self._last_appended:
+            raise DataError("output records appended out of order")
+        self._last_appended = int(keys[-1])
+        chunk = (
+            keys[np.newaxis, :]
+            if payloads is None
+            else np.stack([keys, payloads])
+        )
+        self._chunks.append(chunk)
+        self._pending += keys.size
+        self._n_records += keys.size
+        D, B = self.system.n_disks, self.system.block_size
+        self.max_buffered_blocks = max(self.max_buffered_blocks, -(-self._pending // B))
+        # Drain: stripe j is writable once stripes j and j+1 are both
+        # fully materialized (2·D·B buffered records).
+        while self._pending >= 2 * D * B:
+            window = self._take_front(2 * D * B, consume=D * B)
+            self._write_stripe(window[:, : D * B], lookahead=window[:, D * B :])
+
+    def _take_front(self, n: int, consume: int) -> np.ndarray:
+        """Return the first *n* buffered records, consuming *consume*."""
+        parts: list[np.ndarray] = []
+        got = 0
+        for c in self._chunks:
+            need = n - got
+            parts.append(c[:, :need])
+            got += min(c.shape[1], need)
+            if got >= n:
+                break
+        window = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
+        # Consume the first `consume` records from the chunk list.
+        left = consume
+        while left:
+            head = self._chunks[0]
+            if head.shape[1] <= left:
+                left -= head.shape[1]
+                self._chunks.pop(0)
+            else:
+                self._chunks[0] = head[:, left:]
+                left = 0
+        self._pending -= consume
+        return window
+
+    # -- emit ----------------------------------------------------------------
+
+    def _write_stripe(self, stripe: np.ndarray, lookahead: np.ndarray) -> None:
+        """Write one full stripe; *lookahead* is the next stripe's data."""
+        D, B = self.system.n_disks, self.system.block_size
+        writes = []
+        for m in range(D):
+            index = self._next_block + m
+            data = stripe[:, m * B : (m + 1) * B]
+            if index == 0:
+                # Initial block: keys of blocks 0..D-1, i.e. of this stripe.
+                fc = tuple(int(stripe[0, j * B]) for j in range(D))
+            else:
+                # Key of block index + D, i.e. the lookahead stripe's m-th.
+                fc = (int(lookahead[0, m * B]),)
+            writes.append(self._emit_block(index, data, fc))
+        self.system.write_stripe(writes)
+        self._next_block += D
+
+    def _emit_block(
+        self, index: int, data: np.ndarray, forecast: tuple[float, ...]
+    ):
+        addr = self.system.allocate(
+            cyclic_disk(self.start_disk, index, self.system.n_disks)
+        )
+        self._addresses.append(addr)
+        self._first_keys.append(int(data[0, 0]))
+        self._last_keys.append(int(data[0, -1]))
+        block = Block(
+            keys=data[0],
+            run_id=self.run_id,
+            index=index,
+            forecast=forecast,
+            payloads=data[1] if data.shape[0] == 2 else None,
+        )
+        return (addr, block)
+
+    def finalize(self) -> StripedRun:
+        """Flush remaining buffered blocks and return the finished run."""
+        if self._finalized:
+            raise ScheduleError("finalize called twice")
+        self._finalized = True
+        if self._n_records == 0:
+            raise DataError("cannot finalize an empty run")
+        D, B = self.system.n_disks, self.system.block_size
+        if not self._chunks:
+            tail = np.empty((self._rows or 1, 0), dtype=np.int64)
+        elif len(self._chunks) == 1:
+            tail = self._chunks[0]
+        else:
+            tail = np.concatenate(self._chunks, axis=1)
+        self._chunks = []
+        self._pending = 0
+        # Remaining blocks, the last possibly partial.
+        blocks = [tail[:, i : i + B] for i in range(0, tail.shape[1], B)]
+        total_blocks = self._next_block + len(blocks)
+
+        def key_of(index: int) -> float:
+            # Only future (tail) blocks are ever asked for.
+            off = index - self._next_block
+            return int(blocks[off][0, 0]) if 0 <= off < len(blocks) else NO_KEY
+
+        writes = []
+        for m, data in enumerate(blocks):
+            index = self._next_block + m
+            if index == 0:
+                fc = tuple(key_of(j) for j in range(D))
+            else:
+                fc = (key_of(index + D),)
+            writes.append(self._emit_block(index, data, fc))
+            if len(writes) == D:
+                self.system.write_stripe(writes)
+                writes = []
+        if writes:
+            self.system.write_stripe(writes)
+        self._next_block = total_blocks
+        return StripedRun(
+            run_id=self.run_id,
+            start_disk=self.start_disk,
+            addresses=self._addresses,
+            n_records=self._n_records,
+            block_size=B,
+            first_keys=np.asarray(self._first_keys, dtype=np.int64),
+            last_keys=np.asarray(self._last_keys, dtype=np.int64),
+        )

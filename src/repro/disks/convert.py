@@ -1,0 +1,97 @@
+"""Layout conversions between the run formats, with counted I/O.
+
+Three on-disk layouts exist in this codebase — cyclically striped
+forecast-format runs (SRM), slot-synchronized superblock runs (DSM),
+and single-disk runs (PSV) — and real pipelines mix stages (e.g. an
+SRM sort feeding a DSM-style consumer).  These converters rewrite a
+run between layouts at the cost of one full read + write pass, both
+fully parallel, using the same accounting as everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .files import StripedRun
+from .system import ParallelDiskSystem
+
+
+def striped_run_to_superblock_run(
+    system: ParallelDiskSystem,
+    run: StripedRun,
+    run_id: int,
+    free_input: bool = True,
+):
+    """Rewrite a cyclic forecast-format run as a DSM superblock run.
+
+    Costs ``ceil(blocks/D)`` parallel reads + the same in writes.
+    """
+    from ..baselines.dsm import write_superblock_run
+
+    keys, payloads = run.read_all_records(system)
+    if free_input:
+        for a in run.addresses:
+            system.free(a)
+    return write_superblock_run(system, keys, run_id, payloads=payloads)
+
+
+def superblock_run_to_striped_run(
+    system: ParallelDiskSystem,
+    run,
+    run_id: int,
+    start_disk: int,
+    free_input: bool = True,
+) -> StripedRun:
+    """Rewrite a DSM superblock run as a cyclic forecast-format run.
+
+    The output is a fully valid SRM input (implanted forecasts, cyclic
+    layout from *start_disk*).
+    """
+    parts_k: list[np.ndarray] = []
+    parts_p: list[np.ndarray] = []
+    has_payloads: bool | None = None
+    for stripe in run.stripes:
+        blocks = system.read_stripe(stripe)
+        for b in blocks:
+            if b is None:
+                continue
+            parts_k.append(b.keys)
+            if has_payloads is None:
+                has_payloads = b.payloads is not None
+            if b.payloads is not None:
+                parts_p.append(b.payloads)
+        if free_input:
+            for a in stripe:
+                system.free(a)
+    keys = np.concatenate(parts_k)
+    payloads = np.concatenate(parts_p) if has_payloads else None
+    return StripedRun.from_sorted_keys(
+        system, keys, run_id=run_id, start_disk=start_disk, payloads=payloads
+    )
+
+
+def restripe_run(
+    system: ParallelDiskSystem,
+    run: StripedRun,
+    run_id: int,
+    new_start_disk: int,
+    free_input: bool = True,
+) -> StripedRun:
+    """Rewrite a striped run with a different starting disk.
+
+    Mostly useful for tests and repair tooling (e.g. rebalancing after
+    replacing a disk); SRM itself never needs this — output start disks
+    are chosen fresh at write time.
+    """
+    if not 0 <= new_start_disk < system.n_disks:
+        raise DataError(
+            f"start disk {new_start_disk} out of range for D={system.n_disks}"
+        )
+    keys, payloads = run.read_all_records(system)
+    if free_input:
+        for a in run.addresses:
+            system.free(a)
+    return StripedRun.from_sorted_keys(
+        system, keys, run_id=run_id, start_disk=new_start_disk, payloads=payloads
+    )

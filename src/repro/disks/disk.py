@@ -1,0 +1,89 @@
+"""A single simulated disk: a slot-addressed block store.
+
+Each disk exposes an allocate/write/read/free interface at block
+granularity.  Slots model physical block locations; a run's extent map
+(:mod:`repro.disks.striping`) records which slot on which disk holds
+each of its blocks, the way an inode maps file offsets to disk blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DiskFullError, InvalidIOError
+from .block import Block
+
+
+class Disk:
+    """One independent disk drive of the parallel disk system.
+
+    Parameters
+    ----------
+    disk_id:
+        Index of this disk within its system (``0 .. D-1``).
+    capacity_blocks:
+        Optional maximum number of simultaneously live blocks; ``None``
+        means unbounded.  Freed slots are recycled.
+    """
+
+    __slots__ = ("disk_id", "capacity_blocks", "_slots", "_free", "_next_slot")
+
+    def __init__(self, disk_id: int, capacity_blocks: Optional[int] = None) -> None:
+        self.disk_id = disk_id
+        self.capacity_blocks = capacity_blocks
+        self._slots: dict[int, Block] = {}
+        self._free: list[int] = []
+        self._next_slot = 0
+
+    # -- allocation -----------------------------------------------------
+
+    def allocate(self) -> int:
+        """Reserve a free slot and return its address."""
+        if self.capacity_blocks is not None and self.used_blocks >= self.capacity_blocks:
+            raise DiskFullError(
+                f"disk {self.disk_id} is full ({self.capacity_blocks} blocks)"
+            )
+        if self._free:
+            return self._free.pop()
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def free(self, slot: int) -> None:
+        """Release *slot*; its block (if any) is discarded."""
+        self._slots.pop(slot, None)
+        self._free.append(slot)
+
+    # -- I/O (called by the system, which does the accounting) -----------
+
+    def write(self, slot: int, block: Block) -> None:
+        """Store *block* at *slot* (the slot must not hold a live block)."""
+        if slot in self._slots:
+            raise InvalidIOError(
+                f"disk {self.disk_id} slot {slot} already holds a live block"
+            )
+        self._slots[slot] = block
+
+    def read(self, slot: int) -> Block:
+        """Return the block stored at *slot*."""
+        try:
+            return self._slots[slot]
+        except KeyError:
+            raise InvalidIOError(
+                f"disk {self.disk_id} slot {slot} holds no block"
+            ) from None
+
+    def has_block(self, slot: int) -> bool:
+        """True if *slot* currently holds a live block."""
+        return slot in self._slots
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def used_blocks(self) -> int:
+        """Number of live blocks currently stored."""
+        return len(self._slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.capacity_blocks is None else str(self.capacity_blocks)
+        return f"Disk(id={self.disk_id}, used={self.used_blocks}, capacity={cap})"

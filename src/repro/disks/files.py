@@ -1,0 +1,200 @@
+"""On-disk file and run representations.
+
+Two layouts exist in the paper's world:
+
+* :class:`StripedFile` — an unsorted input file, blocks laid out
+  round-robin across disks (block ``j`` on disk ``j mod D``).  Reading
+  it sequentially achieves full parallelism, which is all run formation
+  needs.
+* :class:`StripedRun` — a *sorted* run in SRM's forecast format,
+  cyclically striped from a chosen start disk (§3, §4).  This is both
+  the output of run formation / a merge and the input of the next merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DataError
+from .block import Block, attach_forecasts, split_into_blocks
+from .striping import cyclic_disk
+from .system import BlockAddress, ParallelDiskSystem
+
+
+@dataclass
+class StripedFile:
+    """An unsorted file striped round-robin across the disks.
+
+    Attributes
+    ----------
+    addresses:
+        Physical address of each block, in file order.
+    n_records:
+        Total record count (the final block may be partial).
+    block_size:
+        Records per full block.
+    """
+
+    addresses: list[BlockAddress]
+    n_records: int
+    block_size: int
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.addresses)
+
+    @classmethod
+    def from_records(
+        cls,
+        system: ParallelDiskSystem,
+        keys: np.ndarray,
+        count_ios: bool = False,
+        payloads: np.ndarray | None = None,
+    ) -> "StripedFile":
+        """Materialize *keys* (with optional payloads) on disk, round-robin.
+
+        By default the placement is treated as pre-existing input (no
+        I/O charged); pass ``count_ios=True`` to charge the writes.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        blocks = split_into_blocks(keys, system.block_size, payloads=payloads)
+        addresses: list[BlockAddress] = []
+        pending: list[tuple[BlockAddress, Block]] = []
+        for j, blk in enumerate(blocks):
+            addr = system.allocate(j % system.n_disks)
+            addresses.append(addr)
+            if count_ios:
+                pending.append((addr, blk))
+                if len(pending) == system.n_disks:
+                    system.write_stripe(pending)
+                    pending = []
+            else:
+                system.disks[addr.disk].write(addr.slot, blk)
+        if pending:
+            system.write_stripe(pending)
+        return cls(addresses=addresses, n_records=int(keys.size), block_size=system.block_size)
+
+    def read_all(self, system: ParallelDiskSystem) -> np.ndarray:
+        """Read the whole file back (charging parallel reads)."""
+        blocks, _ = system.read_batch(self.addresses)
+        if not blocks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([b.keys for b in blocks])
+
+    def read_all_records(
+        self, system: ParallelDiskSystem
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Read keys and payloads back (charging parallel reads)."""
+        blocks, _ = system.read_batch(self.addresses)
+        if not blocks:
+            return np.empty(0, dtype=np.int64), None
+        keys = np.concatenate([b.keys for b in blocks])
+        if blocks[0].payloads is None:
+            return keys, None
+        return keys, np.concatenate([b.payloads for b in blocks])
+
+
+@dataclass
+class StripedRun:
+    """A sorted run in SRM forecast format, cyclically striped.
+
+    Attributes
+    ----------
+    run_id:
+        Identifier (unique within one merge).
+    start_disk:
+        Disk ``d_r`` holding block 0; block ``i`` is on
+        ``(d_r + i) mod D``.
+    addresses:
+        Physical address of block ``i`` at position ``i``.
+    n_records:
+        Total records in the run.
+    block_size:
+        Records per full block (the final block may be partial).
+    first_keys:
+        Smallest key of each block, ``k_{r,i}`` — retained in the extent
+        map so jobs for the block-level simulator can be built without
+        re-reading the run.  The *algorithms* never peek at this: the
+        scheduler learns keys only through implanted forecasts.
+    """
+
+    run_id: int
+    start_disk: int
+    addresses: list[BlockAddress]
+    n_records: int
+    block_size: int
+    first_keys: np.ndarray = field(repr=False)
+    last_keys: np.ndarray = field(repr=False)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.addresses)
+
+    def disk_of_block(self, index: int) -> int:
+        """Disk holding block *index* (cyclic rule)."""
+        return self.addresses[index].disk
+
+    @classmethod
+    def from_sorted_keys(
+        cls,
+        system: ParallelDiskSystem,
+        keys: np.ndarray,
+        run_id: int,
+        start_disk: int,
+        count_ios: bool = True,
+        payloads: np.ndarray | None = None,
+    ) -> "StripedRun":
+        """Write a sorted key array to disk as a forecast-format run.
+
+        Writes proceed stripe-by-stripe with full parallelism (``D``
+        blocks per operation, except the final partial stripe), matching
+        the paper's perfect write parallelism.  *payloads*, if given,
+        must already be aligned with the sorted keys.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            raise DataError("cannot create an empty run")
+        if np.any(keys[:-1] > keys[1:]):
+            raise DataError("run keys must be sorted ascending")
+        blocks = split_into_blocks(
+            keys, system.block_size, run_id=run_id, payloads=payloads
+        )
+        attach_forecasts(blocks, system.n_disks)
+        addresses: list[BlockAddress] = []
+        for i in range(len(blocks)):
+            addresses.append(system.allocate(cyclic_disk(start_disk, i, system.n_disks)))
+        D = system.n_disks
+        for s in range(0, len(blocks), D):
+            stripe = [(addresses[i], blocks[i]) for i in range(s, min(s + D, len(blocks)))]
+            if count_ios:
+                system.write_stripe(stripe)
+            else:
+                for addr, blk in stripe:
+                    system.disks[addr.disk].write(addr.slot, blk)
+        return cls(
+            run_id=run_id,
+            start_disk=start_disk,
+            addresses=addresses,
+            n_records=int(keys.size),
+            block_size=system.block_size,
+            first_keys=np.array([b.first_key for b in blocks], dtype=np.int64),
+            last_keys=np.array([b.last_key for b in blocks], dtype=np.int64),
+        )
+
+    def read_all(self, system: ParallelDiskSystem) -> np.ndarray:
+        """Read the whole run back in order (charging parallel reads)."""
+        blocks, _ = system.read_batch(self.addresses)
+        return np.concatenate([b.keys for b in blocks])
+
+    def read_all_records(
+        self, system: ParallelDiskSystem
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Read keys and payloads back in order (charging parallel reads)."""
+        blocks, _ = system.read_batch(self.addresses)
+        keys = np.concatenate([b.keys for b in blocks])
+        if blocks[0].payloads is None:
+            return keys, None
+        return keys, np.concatenate([b.payloads for b in blocks])

@@ -1,0 +1,58 @@
+"""Cyclic striping arithmetic (paper §3).
+
+SRM stores run ``r`` with its 0th block on disk ``d_r`` and block ``i``
+on disk ``(i + d_r) mod D``.  Because an output run is written this way
+with full write parallelism, it can be consumed as an input run by the
+next merge pass with no transposition — the key structural advantage
+over the Pai–Schaffer–Varman layout.
+
+DSM instead uses *synchronized* striping: logical superblock ``j`` is
+the set of blocks at the same slot ``j`` on all ``D`` disks, giving the
+logical effect of one disk with block size ``D·B``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def cyclic_disk(start_disk: int, block_index: int, n_disks: int) -> int:
+    """Disk holding block *block_index* of a run starting on *start_disk*."""
+    if not 0 <= start_disk < n_disks:
+        raise ConfigError(
+            f"start disk {start_disk} out of range for D={n_disks}"
+        )
+    return (start_disk + block_index) % n_disks
+
+
+def chain_start_index(start_disk: int, disk: int, n_disks: int) -> int:
+    """Index of the first block of the run that lives on *disk*.
+
+    Blocks of the run on *disk* form the *chain*
+    ``i0, i0 + D, i0 + 2D, ...`` with ``i0`` the returned value.  The
+    chain view is what the forecasting structure tracks and what the
+    dependent occupancy problem (§7.1) abstracts.
+    """
+    return (disk - start_disk) % n_disks
+
+
+def chain_position_to_block(
+    start_disk: int, disk: int, position: int, n_disks: int
+) -> int:
+    """Block index of the chain element at *position* on *disk*."""
+    return chain_start_index(start_disk, disk, n_disks) + position * n_disks
+
+
+def chain_length(
+    start_disk: int, disk: int, n_blocks: int, n_disks: int
+) -> int:
+    """Number of blocks of an ``n_blocks``-long run stored on *disk*."""
+    i0 = chain_start_index(start_disk, disk, n_disks)
+    if i0 >= n_blocks:
+        return 0
+    return 1 + (n_blocks - 1 - i0) // n_disks
+
+
+def blocks_per_disk(start_disk: int, n_blocks: int, n_disks: int) -> list[int]:
+    """Chain length on every disk — the occupancy contribution of one run."""
+    return [chain_length(start_disk, d, n_blocks, n_disks) for d in range(n_disks)]

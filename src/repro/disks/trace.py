@@ -1,0 +1,172 @@
+"""I/O trace recording and analysis.
+
+Attach an :class:`IOTrace` to a :class:`ParallelDiskSystem` to capture
+the full sequence of parallel operations — which disks each one
+touched, in what order, at what simulated time.  Traces answer the
+questions the aggregate counters cannot: *is the load balanced over
+time?  how wide are the parallel operations?  which disk is the
+straggler?* — exactly the diagnostics used to contrast SRM's randomized
+layout with the §3 adversary.
+
+Example::
+
+    system = ParallelDiskSystem(8, 64)
+    system.trace = IOTrace()
+    ... run a sort ...
+    print(system.trace.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+OpKind = Literal["read", "write"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One parallel I/O operation."""
+
+    index: int
+    kind: OpKind
+    disks: tuple[int, ...]
+    elapsed_ms: float
+
+    @property
+    def width(self) -> int:
+        """Blocks moved (disks touched) by this operation."""
+        return len(self.disks)
+
+
+@dataclass
+class IOTrace:
+    """An append-only log of parallel I/O operations."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: OpKind, disks: list[int], elapsed_ms: float) -> None:
+        """Append one operation (called by the disk system)."""
+        self.events.append(
+            TraceEvent(
+                index=len(self.events),
+                kind=kind,
+                disks=tuple(disks),
+                elapsed_ms=elapsed_ms,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- analyses ----------------------------------------------------------
+
+    def disk_participation(self, n_disks: int, kind: OpKind | None = None) -> np.ndarray:
+        """Per-disk count of operations the disk took part in."""
+        counts = np.zeros(n_disks, dtype=np.int64)
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            for d in ev.disks:
+                counts[d] += 1
+        return counts
+
+    def utilization(self, n_disks: int, kind: OpKind | None = None) -> np.ndarray:
+        """Fraction of (matching) operations each disk participated in.
+
+        1.0 everywhere means perfect parallelism; the §3 adversary shows
+        one disk at 1.0 and the rest near 0 during reads.
+        """
+        total = sum(
+            1 for ev in self.events if kind is None or ev.kind == kind
+        )
+        if total == 0:
+            return np.ones(n_disks)
+        return self.disk_participation(n_disks, kind) / total
+
+    def width_histogram(self, n_disks: int, kind: OpKind | None = None) -> np.ndarray:
+        """``hist[w]`` = number of operations that moved ``w`` blocks."""
+        hist = np.zeros(n_disks + 1, dtype=np.int64)
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            hist[ev.width] += 1
+        return hist
+
+    def mean_width(self, kind: OpKind | None = None) -> float:
+        """Average operation width (blocks per parallel I/O)."""
+        widths = [
+            ev.width for ev in self.events if kind is None or ev.kind == kind
+        ]
+        return float(np.mean(widths)) if widths else 0.0
+
+    def imbalance(self, n_disks: int, kind: OpKind | None = None) -> float:
+        """Max/mean participation ratio (1.0 = perfectly balanced)."""
+        counts = self.disk_participation(n_disks, kind)
+        mean = counts.mean()
+        if mean == 0:
+            return 1.0
+        return float(counts.max() / mean)
+
+    def timeline_ascii(
+        self,
+        n_disks: int,
+        width: int = 72,
+        kind: OpKind | None = None,
+    ) -> str:
+        """Render per-disk activity over operation time as ASCII art.
+
+        Operations are bucketed into *width* columns; each cell shows
+        how busy the disk was in that bucket: ``' '`` idle, ``'.'``
+        under a third, ``'+'`` under two thirds, ``'#'`` above.  The
+        §3 adversary shows up as a single dense row; SRM's randomized
+        layout as a uniformly dense block.
+        """
+        events = [
+            ev for ev in self.events if kind is None or ev.kind == kind
+        ]
+        if not events:
+            return "(no operations)"
+        width = min(width, len(events))
+        per_bucket = len(events) / width
+        grid = np.zeros((n_disks, width), dtype=np.int64)
+        totals = np.zeros(width, dtype=np.int64)
+        for i, ev in enumerate(events):
+            col = min(int(i / per_bucket), width - 1)
+            totals[col] += 1
+            for d in ev.disks:
+                grid[d, col] += 1
+        lines = []
+        for d in range(n_disks):
+            cells = []
+            for col in range(width):
+                if totals[col] == 0:
+                    cells.append(" ")
+                    continue
+                frac = grid[d, col] / totals[col]
+                cells.append(
+                    " " if frac == 0 else "." if frac < 1 / 3 else
+                    "+" if frac < 2 / 3 else "#"
+                )
+            lines.append(f"disk {d:>2} |{''.join(cells)}|")
+        lines.append(f"         {len(events)} ops -> {width} columns")
+        return "\n".join(lines)
+
+    def summary(self, n_disks: int | None = None) -> str:
+        """Human-readable trace digest."""
+        if not self.events:
+            return "empty trace"
+        if n_disks is None:
+            n_disks = max(max(ev.disks) for ev in self.events if ev.disks) + 1
+        reads = sum(1 for ev in self.events if ev.kind == "read")
+        writes = len(self.events) - reads
+        lines = [
+            f"{len(self.events)} parallel ops ({reads} reads, {writes} writes)",
+            f"mean width: reads {self.mean_width('read'):.2f}, "
+            f"writes {self.mean_width('write'):.2f} (of {n_disks} disks)",
+            f"read imbalance (max/mean participation): "
+            f"{self.imbalance(n_disks, 'read'):.3f}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Maximum occupancy problems (paper §7): classical, dependent, exact,
+and the Theorem 2 analytic bounds."""
+
+from .bounds import (
+    classical_expected_max_lower_bound,
+    gf_expected_max_bound,
+    max_tail_probability_bound,
+    tail_probability_bound,
+    theorem2_case1_bound,
+    theorem2_case2_bound,
+)
+from .classical import (
+    DEFAULT_TRIALS,
+    OccupancyEstimate,
+    expected_max_occupancy,
+    max_occupancy_samples,
+    overhead_v,
+)
+from .dependent import (
+    FIGURE1_CHAIN_LENGTHS,
+    FIGURE1_N_BINS,
+    canonicalize_chains,
+    dependent_max_occupancy_samples,
+    dependent_occupancy_counts,
+    expected_dependent_max_occupancy,
+    figure1_classical_instance,
+    figure1_dependent_instance,
+)
+from .pgf import (
+    classical_one_bin_pmf,
+    expected_max_upper_bound,
+    max_occupancy_tail_bound,
+    one_bin_pmf,
+    one_bin_tail,
+)
+from .exact import (
+    classical_max_cdf,
+    classical_max_pmf,
+    dependent_max_pmf,
+    exact_classical_expected_max,
+    exact_dependent_expected_max,
+)
+
+__all__ = [
+    "DEFAULT_TRIALS",
+    "OccupancyEstimate",
+    "expected_max_occupancy",
+    "max_occupancy_samples",
+    "overhead_v",
+    "FIGURE1_CHAIN_LENGTHS",
+    "FIGURE1_N_BINS",
+    "canonicalize_chains",
+    "dependent_max_occupancy_samples",
+    "dependent_occupancy_counts",
+    "expected_dependent_max_occupancy",
+    "figure1_classical_instance",
+    "figure1_dependent_instance",
+    "classical_max_cdf",
+    "classical_max_pmf",
+    "dependent_max_pmf",
+    "exact_classical_expected_max",
+    "exact_dependent_expected_max",
+    "classical_expected_max_lower_bound",
+    "gf_expected_max_bound",
+    "max_tail_probability_bound",
+    "tail_probability_bound",
+    "theorem2_case1_bound",
+    "theorem2_case2_bound",
+    "classical_one_bin_pmf",
+    "expected_max_upper_bound",
+    "max_occupancy_tail_bound",
+    "one_bin_pmf",
+    "one_bin_tail",
+]

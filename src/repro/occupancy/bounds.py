@@ -1,0 +1,185 @@
+"""Analytic occupancy bounds (paper §7.2, Theorem 2).
+
+Two kinds of bounds are provided:
+
+* **Finite-parameter generating-function bound** — the paper's actual
+  proof mechanism, valid for every ``(N_b, D)``: from the PGF bound
+  ``P{X = m} <= (1 + (P-1)/D)^{N_b} / P^m`` (inequality (13), via the
+  residue theorem on a circle of radius ``P = 1 + alpha``), inequality
+  (24) gives the smallest tail-cut parameter ``rho`` for a given
+  ``alpha``, and ``E[X_max] <= rho* N_b / D + 2`` (inequality (26)).
+  We minimize over ``alpha`` numerically instead of plugging the
+  paper's case-specific asymptotic choices, so the bound is as tight
+  as the technique allows at finite sizes.
+* **Asymptotic expansions** — the closed forms of Theorem 2 cases 1
+  and 2, which drop the ``O(·)`` terms; they are what the paper quotes
+  and what Table-style comparisons use at large ``D``.
+
+Both bound the *dependent* maximum occupancy, hence (Corollary 1) also
+the classical one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+
+
+def tail_probability_bound(n_balls: int, n_bins: int, m: int, alpha: float) -> float:
+    """Paper inequality (18): ``P{X > m} <= (1 + a/D)^{N_b} / (a (1+a)^m)``.
+
+    ``X`` is the occupancy of one fixed bin.  Valid for any ``alpha > 0``.
+    Computed in log space to avoid overflow.
+    """
+    if alpha <= 0:
+        raise ConfigError(f"alpha must be positive, got {alpha}")
+    log_p = (
+        n_balls * math.log1p(alpha / n_bins)
+        - math.log(alpha)
+        - m * math.log1p(alpha)
+    )
+    # A probability bound above 1 carries no information; clamp (and
+    # avoid overflow in exp) by capping at 1.
+    return math.exp(log_p) if log_p < 0.0 else 1.0
+
+
+def max_tail_probability_bound(n_balls: int, n_bins: int, m: int, alpha: float | None = None) -> float:
+    """Union bound ``P{X_max > m} <= D · P{X > m}``, optimized over alpha.
+
+    When *alpha* is ``None`` a golden-section search picks the tightest
+    value for the given ``m``.
+    """
+    if alpha is not None:
+        return min(1.0, n_bins * tail_probability_bound(n_balls, n_bins, m, alpha))
+
+    def objective(log_a: float) -> float:
+        a = math.exp(log_a)
+        return (
+            n_balls * math.log1p(a / n_bins)
+            - math.log(a)
+            - m * math.log1p(a)
+        )
+
+    best = _golden_minimize(objective, -12.0, 12.0)
+    return min(1.0, n_bins * math.exp(min(objective(best), 0.0)))
+
+
+def _rho_for_alpha(n_balls: int, n_bins: int, alpha: float) -> float:
+    """RHS of paper inequality (24): the smallest valid ``rho`` at ``alpha``."""
+    log1p_a = math.log1p(alpha)
+    return (
+        n_bins * math.log1p(alpha / n_bins) / log1p_a
+        + n_bins * math.log(n_bins) / (n_balls * log1p_a)
+        - 2.0 * n_bins * math.log(alpha) / (n_balls * log1p_a)
+    )
+
+
+def _golden_minimize(f, lo: float, hi: float, tol: float = 1e-9) -> float:
+    """Golden-section minimum of a unimodal-enough scalar function."""
+    invphi = (math.sqrt(5) - 1) / 2
+    a, b = lo, hi
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    fc, fd = f(c), f(d)
+    while abs(b - a) > tol * (1 + abs(a) + abs(b)):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - invphi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + invphi * (b - a)
+            fd = f(d)
+    return (a + b) / 2
+
+
+def gf_expected_max_bound(n_balls: int, n_bins: int) -> float:
+    """Rigorous finite-size bound ``E[X_max] <= rho* N_b / D + 2``.
+
+    Minimizes inequality (24) over ``alpha`` numerically.  Holds for any
+    dependent (hence classical) occupancy instance with ``N_b`` total
+    balls and ``D`` bins.
+    """
+    if n_balls < 1 or n_bins < 1:
+        raise ConfigError("need n_balls >= 1 and n_bins >= 1")
+    if n_bins == 1:
+        return float(n_balls)
+
+    best_log_a = _golden_minimize(
+        lambda la: _rho_for_alpha(n_balls, n_bins, math.exp(la)), -12.0, 12.0
+    )
+    rho = _rho_for_alpha(n_balls, n_bins, math.exp(best_log_a))
+    bound = rho * n_balls / n_bins + 2.0
+    # E[X_max] can never be below the mean load nor above N_b.
+    return float(min(max(bound, n_balls / n_bins), n_balls))
+
+
+def classical_expected_max_lower_bound(n_balls: int, n_bins: int) -> float:
+    """Rigorous lower bound on the classical ``C(N_b, D)``.
+
+    The paper notes its techniques "can be modified" to produce lower
+    bounds; this is the Chung–Erdős route.  With ``X_i`` the occupancy
+    of bin ``i`` (Binomial(N_b, 1/D)), ``A_i = {X_i >= m}`` and
+    ``p_m = P{X >= m}``:
+
+        P{max >= m} = P{union A_i}
+                   >= (sum p)^2 / (sum p + sum_{i != j} P{A_i ∩ A_j})
+                   >= (D p_m)^2 / (D p_m + D(D-1) p_m^2)
+                    = D p_m / (1 + (D-1) p_m),
+
+    using the negative association of multinomial occupancies (joint
+    exceedance at most the independent product).  Summing over
+    ``m >= 1`` lower-bounds ``E[max]``.
+    """
+    if n_balls < 1 or n_bins < 1:
+        raise ConfigError("need n_balls >= 1 and n_bins >= 1")
+    if n_bins == 1:
+        return float(n_balls)
+    from .pgf import classical_one_bin_pmf
+
+    pmf = classical_one_bin_pmf(n_balls, n_bins)
+    # p_m = P(X >= m) for m = 1..n_balls.
+    suffix = pmf[::-1].cumsum()[::-1]
+    total = 0.0
+    for m in range(1, n_balls + 1):
+        p = float(suffix[m]) if m < suffix.size else 0.0
+        if p > 0.0:
+            total += n_bins * p / (1.0 + (n_bins - 1) * p)
+    # E[max] >= mean load always.
+    return float(max(total, n_balls / n_bins))
+
+
+def theorem2_case1_bound(k: float, n_bins: int) -> float:
+    """Theorem 2 case 1 leading terms (``N_b = kD``, constant ``k``).
+
+    ``E[X_max] <= (ln D / ln ln D) (1 + lnlnln D/lnln D + (1+ln k)/lnln D)``
+    with the ``O((lnlnln D / lnln D)^2)`` term dropped.  Only meaningful
+    when ``ln ln D > 0`` i.e. ``D > e``; asymptotic in ``D``.
+    """
+    if n_bins <= 3:
+        raise ConfigError("case-1 expansion requires D > e (ln ln D > 0)")
+    if k <= 0:
+        raise ConfigError(f"k must be positive, got {k}")
+    ln_d = math.log(n_bins)
+    lnln_d = math.log(ln_d)
+    lnlnln_d = math.log(lnln_d) if lnln_d > 1e-12 else float("-inf")
+    correction = 1.0 + lnlnln_d / lnln_d + (1.0 + math.log(k)) / lnln_d
+    return ln_d / lnln_d * correction
+
+
+def theorem2_case2_bound(r: float, n_bins: int) -> float:
+    """Theorem 2 case 2 leading terms (``N_b = r D ln D``).
+
+    ``E[X_max] <= (1 + sqrt(2/r) + ln r / (sqrt(2r) ln D)) N_b / D``
+    with the ``O(1/r + ...)`` terms dropped.  Approaches ``N_b/D`` —
+    perfect balance — as ``r`` grows, which is the optimality regime
+    ``M = Omega(DB log D)`` of Theorem 1 case 3.
+    """
+    if r <= 0:
+        raise ConfigError(f"r must be positive, got {r}")
+    if n_bins < 2:
+        raise ConfigError("case-2 expansion requires D >= 2")
+    n_balls = r * n_bins * math.log(n_bins)
+    factor = 1.0 + math.sqrt(2.0 / r) + math.log(r) / (math.sqrt(2.0 * r) * math.log(n_bins))
+    return factor * n_balls / n_bins

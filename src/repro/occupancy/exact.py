@@ -1,0 +1,153 @@
+"""Exact occupancy distributions for small instances.
+
+Monte-Carlo estimators (:mod:`repro.occupancy.classical`,
+:mod:`repro.occupancy.dependent`) drive the paper-scale tables; this
+module computes *exact* distributions for small parameters so the
+estimators and the analytic bounds can be tested against ground truth:
+
+* classical: ``P(max <= m)`` via the truncated exponential generating
+  function — ``P = N! / D^N · [x^N] (sum_{i<=m} x^i/i!)^D`` — evaluated
+  in exact rational arithmetic;
+* dependent: brute-force enumeration of all ``D^C`` chain placements.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from math import factorial
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Practical guardrails: beyond these sizes the exact computations are
+#: deliberately refused (the Monte-Carlo path is the right tool there).
+MAX_EXACT_BALLS = 120
+MAX_EXACT_PLACEMENTS = 2_000_000
+
+
+def _poly_pow_truncated(
+    base: list[Fraction], power: int, max_degree: int
+) -> list[Fraction]:
+    """``base(x) ** power`` keeping only degrees ``<= max_degree``."""
+    result = [Fraction(1)]
+    acc = list(base)
+    p = power
+    while p:
+        if p & 1:
+            result = _poly_mul_truncated(result, acc, max_degree)
+        p >>= 1
+        if p:
+            acc = _poly_mul_truncated(acc, acc, max_degree)
+    return result
+
+
+def _poly_mul_truncated(
+    a: list[Fraction], b: list[Fraction], max_degree: int
+) -> list[Fraction]:
+    out = [Fraction(0)] * min(len(a) + len(b) - 1, max_degree + 1)
+    for i, ai in enumerate(a):
+        if ai == 0 or i > max_degree:
+            continue
+        hi = min(len(b), max_degree + 1 - i)
+        for j in range(hi):
+            bj = b[j]
+            if bj:
+                out[i + j] += ai * bj
+    return out
+
+
+@lru_cache(maxsize=256)
+def classical_max_cdf(n_balls: int, n_bins: int, m: int) -> Fraction:
+    """Exact ``P(max occupancy <= m)`` for the classical problem."""
+    if n_balls < 0 or n_bins < 1:
+        raise ConfigError("need n_balls >= 0 and n_bins >= 1")
+    if n_balls > MAX_EXACT_BALLS:
+        raise ConfigError(
+            f"exact computation limited to {MAX_EXACT_BALLS} balls, got {n_balls}"
+        )
+    if m < 0:
+        return Fraction(0)
+    if m >= n_balls:
+        return Fraction(1)
+    # EGF of one bin holding at most m balls, truncated at degree n_balls.
+    base = [Fraction(1, factorial(i)) for i in range(min(m, n_balls) + 1)]
+    poly = _poly_pow_truncated(base, n_bins, n_balls)
+    coeff = poly[n_balls] if n_balls < len(poly) else Fraction(0)
+    return coeff * factorial(n_balls) / Fraction(n_bins) ** n_balls
+
+
+def classical_max_pmf(n_balls: int, n_bins: int) -> dict[int, Fraction]:
+    """Exact distribution ``P(max occupancy = m)``."""
+    pmf: dict[int, Fraction] = {}
+    prev = Fraction(0)
+    for m in range(n_balls + 1):
+        cur = classical_max_cdf(n_balls, n_bins, m)
+        if cur != prev:
+            pmf[m] = cur - prev
+        prev = cur
+    return pmf
+
+
+def exact_classical_expected_max(n_balls: int, n_bins: int) -> Fraction:
+    """Exact ``C(N_b, D)`` via ``E[max] = sum_m P(max > m)``."""
+    total = Fraction(0)
+    for m in range(n_balls):
+        total += 1 - classical_max_cdf(n_balls, n_bins, m)
+    return total
+
+
+def dependent_max_pmf(
+    chain_lengths: Sequence[int], n_bins: int
+) -> dict[int, Fraction]:
+    """Exact max-occupancy distribution by enumerating all placements.
+
+    Each of the ``C`` chains independently starts in one of ``D`` bins,
+    so there are ``D^C`` equiprobable placements; refuse instances with
+    more than :data:`MAX_EXACT_PLACEMENTS`.
+    """
+    lengths = [int(l) for l in chain_lengths]
+    if any(l < 1 for l in lengths):
+        raise ConfigError("chain lengths must be positive")
+    C = len(lengths)
+    n_placements = n_bins**C
+    if n_placements > MAX_EXACT_PLACEMENTS:
+        raise ConfigError(
+            f"{n_placements} placements exceed the exact-enumeration limit"
+        )
+    # Per-chain occupancy footprint for each start bin, as a vector.
+    footprints = []
+    for l in lengths:
+        per_start = np.zeros((n_bins, n_bins), dtype=np.int64)
+        for s in range(n_bins):
+            for i in range(l):
+                per_start[s, (s + i) % n_bins] += 1
+        footprints.append(per_start)
+
+    counts: dict[int, int] = {}
+    occ = np.zeros(n_bins, dtype=np.int64)
+
+    def recurse(idx: int) -> None:
+        if idx == C:
+            m = int(occ.max())
+            counts[m] = counts.get(m, 0) + 1
+            return
+        fp = footprints[idx]
+        for s in range(n_bins):
+            occ[:] += fp[s]
+            recurse(idx + 1)
+            occ[:] -= fp[s]
+
+    recurse(0)
+    denom = Fraction(n_placements)
+    return {m: Fraction(c) / denom for m, c in sorted(counts.items())}
+
+
+def exact_dependent_expected_max(
+    chain_lengths: Sequence[int], n_bins: int
+) -> Fraction:
+    """Exact ``E[X_max]`` for a small dependent instance."""
+    pmf = dependent_max_pmf(chain_lengths, n_bins)
+    return sum((Fraction(m) * p for m, p in pmf.items()), Fraction(0))

@@ -1,0 +1,97 @@
+"""Probability generating functions for one-bin occupancy (paper §7.2).
+
+Equation (6) of the paper: for a dependent occupancy problem with
+chains of lengths ``{l_j}`` (each ``<= D`` after Lemma 9), the occupancy
+``X`` of one fixed bin has PGF
+
+    G_X(z) = prod_j (1 - l_j/D + (l_j/D) z),
+
+since a chain of length ``l`` covers any fixed bin with probability
+``l/D`` and contributes at most one ball to it.  The PGF's coefficients
+are the *exact* distribution of ``X`` — this module computes them by
+polynomial multiplication, yielding:
+
+* exact one-bin occupancy pmf/tails for any instance size (the number
+  of chains, not balls, bounds the polynomial degree);
+* a numeric expected-maximum bound
+  ``E[X_max] <= T + sum_{m >= T} D P(X > m)`` (equations (3)-(5))
+  minimized over the cut ``T`` — tighter than the closed-form
+  generating-function bound because it uses the exact tail instead of
+  the saddle-point estimate (13).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from .dependent import canonicalize_chains
+
+
+def one_bin_pmf(chain_lengths: Sequence[int], n_bins: int) -> tuple[int, np.ndarray]:
+    """Exact distribution of one bin's occupancy.
+
+    Returns ``(base, pmf)``: the bin deterministically holds ``base``
+    balls (full chain cycles, Lemma 9) plus a random count ``t`` with
+    probability ``pmf[t]``.
+    """
+    base, residual = canonicalize_chains(chain_lengths, n_bins)
+    pmf = np.array([1.0])
+    for l in residual:
+        p = float(l) / n_bins
+        pmf = np.convolve(pmf, np.array([1.0 - p, p]))
+    return base, pmf
+
+
+def one_bin_tail(chain_lengths: Sequence[int], n_bins: int, m: int) -> float:
+    """Exact ``P{X > m}`` for one bin's occupancy."""
+    base, pmf = one_bin_pmf(chain_lengths, n_bins)
+    t = m - base
+    if t < 0:
+        return 1.0
+    if t + 1 >= pmf.size:
+        return 0.0
+    return float(pmf[t + 1 :].sum())
+
+
+def max_occupancy_tail_bound(
+    chain_lengths: Sequence[int], n_bins: int, m: int
+) -> float:
+    """Union bound ``P{X_max > m} <= D · P{X > m}`` with the exact tail."""
+    return min(1.0, n_bins * one_bin_tail(chain_lengths, n_bins, m))
+
+
+def expected_max_upper_bound(chain_lengths: Sequence[int], n_bins: int) -> float:
+    """Numeric bound on ``E[X_max]`` from equations (3)-(5) with exact tails.
+
+    ``E[X_max] <= T + sum_{m >= T} min(1, D · P{X > m})`` for every cut
+    ``T``; the minimum over ``T`` is returned.  Dominates the true
+    expectation for any dependent instance, and is tighter than
+    :func:`repro.occupancy.gf_expected_max_bound` (which bounds the
+    same sum through the saddle-point inequality (13)).
+    """
+    if n_bins < 1:
+        raise ConfigError(f"need at least one bin, got {n_bins}")
+    base, pmf = one_bin_pmf(chain_lengths, n_bins)
+    max_t = pmf.size - 1  # largest possible random part
+    # Tail of the random part: tail[t] = P(X - base > t).
+    tail = np.concatenate([np.cumsum(pmf[::-1])[::-1][1:], [0.0]])
+    capped = np.minimum(1.0, n_bins * tail)
+    # bound(T) = T + sum_{m >= T} capped[m - base]; evaluate all cuts.
+    best = float("inf")
+    for t_cut in range(0, max_t + 2):
+        bound = (base + t_cut) + float(capped[t_cut:].sum())
+        best = min(best, bound)
+    # E[X_max] is at least the mean load and at most base + max_t.
+    total = float(np.asarray(chain_lengths, dtype=np.int64).sum())
+    return float(min(max(best, total / n_bins), base + max_t))
+
+
+def classical_one_bin_pmf(n_balls: int, n_bins: int) -> np.ndarray:
+    """Exact Binomial(n_balls, 1/D) pmf — the unit-chain special case."""
+    if n_balls < 0 or n_bins < 1:
+        raise ConfigError("need n_balls >= 0 and n_bins >= 1")
+    _, pmf = one_bin_pmf([1] * n_balls, n_bins)
+    return pmf

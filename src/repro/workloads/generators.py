@@ -1,0 +1,139 @@
+"""Input-data generators for sorting experiments and stress tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import RngLike, ensure_rng
+
+
+def uniform_permutation(n: int, rng: RngLike = None) -> np.ndarray:
+    """A uniformly random permutation of ``0..n-1`` (distinct keys)."""
+    if n < 0:
+        raise ConfigError(f"n must be >= 0, got {n}")
+    return ensure_rng(rng).permutation(n).astype(np.int64)
+
+
+def uniform_keys(n: int, lo: int, hi: int, rng: RngLike = None) -> np.ndarray:
+    """``n`` i.i.d. uniform keys in ``[lo, hi)`` (duplicates likely)."""
+    if hi <= lo:
+        raise ConfigError(f"empty key range [{lo}, {hi})")
+    return ensure_rng(rng).integers(lo, hi, size=n, dtype=np.int64)
+
+
+def duplicate_heavy(n: int, n_distinct: int, rng: RngLike = None) -> np.ndarray:
+    """Keys drawn from only *n_distinct* values — a tie-handling stress."""
+    if n_distinct < 1:
+        raise ConfigError(f"need at least one distinct value, got {n_distinct}")
+    return ensure_rng(rng).integers(0, n_distinct, size=n, dtype=np.int64)
+
+
+def nearly_sorted(n: int, swap_fraction: float, rng: RngLike = None) -> np.ndarray:
+    """``0..n-1`` with ``swap_fraction·n`` random adjacent-ish swaps.
+
+    Models logs and time-series data that arrive almost in order —
+    replacement selection's best case.
+    """
+    if not 0.0 <= swap_fraction <= 1.0:
+        raise ConfigError(f"swap_fraction must be in [0, 1], got {swap_fraction}")
+    gen = ensure_rng(rng)
+    keys = np.arange(n, dtype=np.int64)
+    n_swaps = int(n * swap_fraction)
+    if n >= 2 and n_swaps:
+        idx = gen.integers(0, n - 1, size=n_swaps)
+        for i in idx:
+            keys[i], keys[i + 1] = keys[i + 1], keys[i]
+    return keys
+
+
+def reverse_sorted(n: int) -> np.ndarray:
+    """``n-1..0`` — replacement selection's worst case."""
+    return np.arange(n, dtype=np.int64)[::-1].copy()
+
+
+def interleaved_runs(n_runs: int, records_per_run: int) -> list[np.ndarray]:
+    """Runs that deplete in perfect lockstep: run ``j`` holds keys
+    ``j, j+R, j+2R, ...``.
+
+    Every run's blocks empty at the same rate, so all leading blocks
+    advance together — the §3 adversary when combined with the
+    WORST_CASE layout (all runs on one disk).
+    """
+    if n_runs < 1 or records_per_run < 1:
+        raise ConfigError("need at least one run of at least one record")
+    n = n_runs * records_per_run
+    return [np.arange(j, n, n_runs, dtype=np.int64) for j in range(n_runs)]
+
+
+def zipf_keys(n: int, alpha: float = 1.5, n_distinct: int = 10_000,
+              rng: RngLike = None) -> np.ndarray:
+    """Zipf-distributed keys — heavy head, long tail of rare values.
+
+    Models real sort columns (URLs, user ids): a few keys repeat
+    enormously.  Stresses the merger's duplicate handling and the
+    writer's partial-consumption path.
+    """
+    if alpha <= 1.0:
+        raise ConfigError(f"zipf alpha must be > 1, got {alpha}")
+    if n_distinct < 1:
+        raise ConfigError(f"need at least one distinct key, got {n_distinct}")
+    gen = ensure_rng(rng)
+    raw = gen.zipf(alpha, size=n)
+    return np.minimum(raw, n_distinct).astype(np.int64)
+
+
+def block_sorted(n: int, chunk: int, rng: RngLike = None) -> np.ndarray:
+    """Globally shuffled but locally sorted chunks.
+
+    Models concatenations of pre-sorted partitions (map-side outputs):
+    each *chunk* is ascending, chunk order is random.
+    """
+    if chunk < 1:
+        raise ConfigError(f"chunk must be >= 1, got {chunk}")
+    gen = ensure_rng(rng)
+    keys = np.arange(n, dtype=np.int64)
+    starts = np.arange(0, n, chunk)
+    gen.shuffle(starts)
+    out = np.concatenate([keys[s : s + chunk] for s in starts]) if n else keys
+    return out
+
+
+def geometric_length_runs(
+    n_runs: int, mean_length: int, rng: RngLike = None, min_length: int = 1
+) -> list[np.ndarray]:
+    """Sorted runs with geometrically distributed lengths.
+
+    Real merge inputs (e.g. from replacement selection on skewed data)
+    are far from equal-length; this exercises chain-length diversity in
+    the dependent occupancy view.
+    """
+    if n_runs < 1 or mean_length < 1:
+        raise ConfigError("need at least one run of at least one record")
+    gen = ensure_rng(rng)
+    lengths = np.maximum(
+        min_length, gen.geometric(1.0 / mean_length, size=n_runs)
+    )
+    total = int(lengths.sum())
+    perm = gen.permutation(total)
+    runs = []
+    pos = 0
+    for l in lengths:
+        runs.append(np.sort(perm[pos : pos + int(l)]))
+        pos += int(l)
+    return runs
+
+
+def sequential_runs(n_runs: int, records_per_run: int) -> list[np.ndarray]:
+    """Runs with disjoint consecutive ranges: run ``j`` holds
+    ``[j·L, (j+1)·L)``.
+
+    The merge consumes one run at a time — maximal chain lengths in the
+    dependent occupancy view, and the easiest case for prefetching.
+    """
+    if n_runs < 1 or records_per_run < 1:
+        raise ConfigError("need at least one run of at least one record")
+    return [
+        np.arange(j * records_per_run, (j + 1) * records_per_run, dtype=np.int64)
+        for j in range(n_runs)
+    ]

@@ -1,0 +1,56 @@
+"""Average-case merge inputs (paper §9.3).
+
+"There is an obvious one-to-one correspondence between the set of all
+possible input runs to the merge and the set of partitions of the set
+``I = {1, 2, ..., LkD}``, each partition splitting ``I`` into ``kD``
+disjoint subsets of size ``L``.  We generate average-case inputs to the
+merge by generating partitions of the set ``I``, with each partition
+being equally likely."  This module is exactly that generator, plus a
+helper that assembles the corresponding :class:`MergeJob` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.job import MergeJob
+from ..core.layout import LayoutStrategy
+from ..errors import ConfigError
+from ..rng import RngLike, ensure_rng
+
+
+def random_partition_runs(
+    n_runs: int, run_length: int, rng: RngLike = None
+) -> list[np.ndarray]:
+    """Uniformly random partition of ``{0..n_runs*run_length-1}`` into
+    *n_runs* sorted runs of *run_length* records each."""
+    if n_runs < 1 or run_length < 1:
+        raise ConfigError("need at least one run of at least one record")
+    gen = ensure_rng(rng)
+    perm = gen.permutation(n_runs * run_length)
+    runs = [
+        np.sort(perm[i * run_length : (i + 1) * run_length])
+        for i in range(n_runs)
+    ]
+    return runs
+
+
+def random_partition_job(
+    k: int,
+    n_disks: int,
+    blocks_per_run: int,
+    block_size: int,
+    rng: RngLike = None,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+) -> MergeJob:
+    """A §9.3 average-case merge job with ``R = kD`` runs.
+
+    Each run has ``blocks_per_run`` blocks of ``block_size`` records
+    (the paper's ``L = blocks_per_run * block_size``); starting disks
+    follow *strategy*.
+    """
+    gen = ensure_rng(rng)
+    runs = random_partition_runs(k * n_disks, blocks_per_run * block_size, gen)
+    return MergeJob.from_key_runs(
+        runs, block_size, n_disks, strategy=strategy, rng=gen
+    )

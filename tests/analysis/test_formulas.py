@@ -1,0 +1,140 @@
+"""Tests for the §9.1 / Theorem 1 cost formulas."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    c_dsm,
+    c_ratio,
+    c_srm,
+    dsm_merge_order_formula,
+    dsm_total_ios,
+    gf_expected_reads_bound,
+    merge_passes,
+    srm_total_ios,
+    srm_write_ios,
+    theorem1_case1_reads,
+    theorem1_case3_reads,
+)
+from repro.errors import ConfigError
+
+
+class TestCoefficients:
+    def test_c_srm_formula(self):
+        # C_SRM = (1+v)/ln(kD).
+        assert c_srm(10, 10, v=1.5) == pytest.approx(2.5 / math.log(100))
+
+    def test_c_dsm_formula(self):
+        # C_DSM = 2/ln(k + 1 + kD/2B).
+        k, D, B = 10, 10, 1000
+        assert c_dsm(k, D, B) == pytest.approx(2 / math.log(10 + 1 + 100 / 2000))
+
+    def test_dsm_merge_order(self):
+        assert dsm_merge_order_formula(10, 4, 100) == 10 + 1 + 40 / 200
+
+    def test_ratio_below_one_for_paper_grid(self):
+        # SRM wins in every cell of Table 2, even with worst-case v <= 2.7.
+        for k, d, v in [(5, 5, 1.6), (5, 1000, 2.7), (1000, 1000, 1.1)]:
+            assert c_ratio(k, d, 1000, v) < 1.0
+
+    def test_v_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            c_srm(10, 10, v=0.5)
+
+    def test_degenerate_order_rejected(self):
+        with pytest.raises(ConfigError):
+            c_srm(1, 1, v=1.0)  # kD = 1
+
+
+class TestTotals:
+    def test_passes(self):
+        assert merge_passes(1e9, 1e6, 100) == pytest.approx(
+            math.log(1000) / math.log(100)
+        )
+
+    def test_no_pass_when_fits_in_memory(self):
+        assert merge_passes(100, 1000, 10) == 0.0
+
+    def test_srm_total_shape(self):
+        # (N/DB)(2 + C_SRM ln(N/M)).
+        N, M, D, B, k, v = 1e8, 1e6, 10, 1000, 10, 1.5
+        expect = N / (D * B) * (2 + c_srm(k, D, v) * math.log(N / M))
+        assert srm_total_ios(N, M, D, B, k, v) == pytest.approx(expect)
+
+    def test_dsm_total_shape(self):
+        N, M, D, B, k = 1e8, 1e6, 10, 1000, 10
+        expect = N / (D * B) * (2 + c_dsm(k, D, B) * math.log(N / M))
+        assert dsm_total_ios(N, M, D, B, k) == pytest.approx(expect)
+
+    def test_totals_ratio_matches_c_ratio_asymptotically(self):
+        # For huge N/M the additive 2 washes out and the I/O ratio tends
+        # to C_SRM/C_DSM.
+        N, M, D, B, k, v = 1e300, 1e6, 10, 1000, 10, 1.5
+        ratio = srm_total_ios(N, M, D, B, k, v) / dsm_total_ios(N, M, D, B, k)
+        assert ratio == pytest.approx(c_ratio(k, D, B, v), rel=0.01)
+
+    def test_srm_beats_dsm_for_realistic_params(self):
+        # §10's realistic machine: D=5, k large, B=1000.
+        N, M_scale = 1e9, None
+        for k, D in [(200, 5), (100, 10), (500, 100)]:
+            B = 1000
+            M = (2 * k + 4) * D * B + k * D * D
+            v = 1.6  # a pessimistic worst-case overhead
+            assert srm_total_ios(N, M, D, B, k, v) < dsm_total_ios(N, M, D, B, k)
+
+    def test_write_ios_perfect_parallelism(self):
+        N, M, D, B, k = 1e7, 1e5, 4, 100, 25
+        writes = srm_write_ios(N, M, D, B, k)
+        passes = merge_passes(N, M, k * D)
+        assert writes == pytest.approx(N / (D * B) * (1 + passes))
+
+
+class TestTheorem1:
+    def test_case1_reads_exceed_trivial_floor(self):
+        N, M, D, B, k = 1e9, 1e6, 100, 1000, 5
+        bound = theorem1_case1_reads(N, M, D, B, k)
+        assert bound > N / (D * B)
+
+    def test_case1_requires_large_d(self):
+        with pytest.raises(ConfigError):
+            theorem1_case1_reads(1e9, 1e6, 10, 1000, 5)
+
+    def test_case3_approaches_optimal(self):
+        # As r grows the multiplicative factor tends to 1:
+        # bound -> N/DB (1 + ln(N/M)/ln R).
+        N, M, D, B = 1e9, 1e6, 100, 1000
+        for r, slack in [(2, 1.1), (100, 1.2)]:
+            R = r * D * math.log(D)
+            optimal = N / (D * B) * (1 + math.log(N / M) / math.log(R))
+            bound = theorem1_case3_reads(N, M, D, B, r)
+            assert bound >= optimal * 0.999
+            factor = (bound - N / (D * B)) / (optimal - N / (D * B))
+            assert factor <= 1 + math.sqrt(2 / r) * slack + 0.1
+
+    def test_case3_validation(self):
+        with pytest.raises(ConfigError):
+            theorem1_case3_reads(1e9, 1e6, 1, 1000, 2.0)
+        with pytest.raises(ConfigError):
+            theorem1_case3_reads(1e9, 1e6, 10, 1000, 0)
+
+
+class TestGfReadsBound:
+    def test_upper_bounds_measured_sort(self):
+        # The finite-size bound must dominate an actual SRM run's reads.
+        from repro.core import SRMConfig, srm_sort
+
+        rng = np.random.default_rng(7)
+        cfg = SRMConfig.from_k(2, 4, 8)
+        keys = rng.permutation(6144)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=96)
+        bound = gf_expected_reads_bound(
+            6144, 96, cfg.n_disks, cfg.block_size, cfg.merge_order
+        )
+        assert res.io.parallel_reads <= bound
+
+    def test_reduces_to_read_pass_when_in_memory(self):
+        assert gf_expected_reads_bound(100, 1000, 4, 10, 8) == pytest.approx(2.5)

@@ -1,0 +1,82 @@
+"""Tests for predicted-vs-measured sort accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_dsm_result,
+    compare_srm_result,
+    predict_sort,
+)
+from repro.baselines import dsm_sort
+from repro.core import DSMConfig, SRMConfig, srm_sort
+
+
+class TestPredictSort:
+    def test_run_count(self):
+        p = predict_sort(n_records=3200, run_length=100, merge_order=8,
+                         n_disks=4, block_size=10)
+        # 320 blocks, 10 blocks/run -> 32 runs.
+        assert p.expected_runs == 32
+
+    def test_pass_count_exact_power(self):
+        p = predict_sort(6400, 100, 8, 4, 10)  # 64 runs, R=8
+        assert p.expected_passes == 2
+
+    def test_pass_count_one_over(self):
+        p = predict_sort(6500, 100, 8, 4, 10)  # 65 runs
+        assert p.expected_passes == 3
+
+    def test_single_run_no_passes(self):
+        p = predict_sort(90, 100, 8, 4, 10)
+        assert p.expected_runs == 1
+        assert p.expected_passes == 0
+        assert p.expected_writes == pytest.approx(3)  # ceil(9 blocks / 4)
+
+    def test_writes_scale_with_passes(self):
+        p = predict_sort(6400, 100, 8, 4, 10)
+        per_pass = -(-640 // 4)
+        assert p.expected_writes == pytest.approx(per_pass * 3)
+
+
+class TestCompareSRM:
+    def test_measured_matches_prediction(self, rng):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        keys = rng.permutation(8192)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=128)
+        rep = compare_srm_result(res, run_length=128)
+        assert rep.measured_runs == rep.prediction.expected_runs
+        assert rep.measured_passes == rep.prediction.expected_passes
+        # Writes essentially at the floor; reads within the v overhead.
+        assert rep.write_overhead == pytest.approx(1.0, abs=0.1)
+        assert 1.0 <= rep.read_overhead <= 1.4
+
+    def test_render(self, rng):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        keys = rng.permutation(2048)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=128)
+        text = compare_srm_result(res, run_length=128).render()
+        assert "merge passes" in text and "v =" in text
+
+    def test_default_run_length_is_memory(self, rng):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        keys = rng.permutation(4096)
+        _, res = srm_sort(keys, cfg, rng=1)
+        rep = compare_srm_result(res)
+        assert rep.measured_runs == rep.prediction.expected_runs
+
+
+class TestCompareDSM:
+    def test_measured_matches_prediction(self, rng):
+        cfg = DSMConfig(n_disks=4, block_size=8, merge_order=4)
+        keys = rng.permutation(8192)
+        _, res = dsm_sort(keys, cfg, run_length=128)
+        rep = compare_dsm_result(res, run_length=128)
+        assert rep.measured_runs == rep.prediction.expected_runs
+        assert rep.measured_passes == rep.prediction.expected_passes
+        # DSM reads are also perfectly parallel (superblocks), modulo
+        # per-run partial superblocks.
+        assert rep.read_overhead == pytest.approx(1.0, abs=0.1)
+        assert rep.write_overhead == pytest.approx(1.0, abs=0.1)

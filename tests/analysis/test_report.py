@@ -1,0 +1,82 @@
+"""Tests for grid rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import TableGrid, max_abs_deviation, render_comparison
+
+
+def grid(title="T"):
+    return TableGrid(ks=[5, 10], ds=[5, 50], values=np.array([[1.5, 2.0], [1.2, 1.4]]), title=title)
+
+
+class TestTableGrid:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TableGrid(ks=[1], ds=[1, 2], values=np.zeros((2, 2)))
+
+    def test_value_lookup(self):
+        assert grid().value(10, 50) == 1.4
+
+    def test_render_contains_labels_and_values(self):
+        text = grid().render()
+        assert "D=50" in text
+        assert "k=10" in text
+        assert "1.50" in text
+        assert text.splitlines()[0] == "T"
+
+    def test_render_format(self):
+        text = grid().render(fmt="{:.1f}")
+        assert "1.5" in text and "1.50" not in text
+
+
+class TestComparison:
+    def test_side_by_side(self):
+        text = render_comparison(grid("A"), grid("B"))
+        assert "1.50/1.50" in text
+        assert "paper / measured" in text
+
+    def test_label_mismatch(self):
+        other = TableGrid(ks=[5], ds=[5, 50], values=np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            render_comparison(grid(), other)
+
+    def test_max_abs_deviation(self):
+        a = grid()
+        b = TableGrid(ks=a.ks, ds=a.ds, values=a.values + 0.25)
+        assert max_abs_deviation(a, b) == pytest.approx(0.25)
+
+
+class TestErrors:
+    def test_error_shape_validated(self):
+        with pytest.raises(ValueError):
+            TableGrid(ks=[1], ds=[1], values=np.ones((1, 1)),
+                      errors=np.ones((2, 2)))
+
+    def test_render_with_errors(self):
+        g = TableGrid(ks=[5], ds=[5], values=np.array([[1.5]]),
+                      errors=np.array([[0.02]]))
+        text = g.render(show_errors=True)
+        assert "1.50±0.02" in text
+
+    def test_render_ignores_missing_errors(self):
+        text = grid().render(show_errors=True)
+        assert "±" not in text
+
+    def test_table1_carries_errors(self):
+        from repro.analysis import table1
+
+        g = table1(ks=[5], ds=[5], n_trials=200, rng=1)
+        assert g.errors is not None
+        assert 0 < g.errors[0, 0] < 0.1
+
+    def test_table3_errors_with_trials(self):
+        from repro.analysis import table3
+
+        g = table3(ks=[5], ds=[5], blocks_per_run=20, block_size=4,
+                   n_trials=3, rng=2)
+        assert g.errors is not None
+        g1 = table3(ks=[5], ds=[5], blocks_per_run=20, block_size=4, rng=2)
+        assert g1.errors is None

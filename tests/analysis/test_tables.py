@@ -1,0 +1,115 @@
+"""Tests for table regeneration against the paper's published values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    figure1,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestPaperConstants:
+    def test_shapes(self):
+        assert PAPER_TABLE1.values.shape == (6, 5)
+        assert PAPER_TABLE2.values.shape == (6, 5)
+        assert PAPER_TABLE3.values.shape == (3, 3)
+        assert PAPER_TABLE4.values.shape == (3, 3)
+
+    def test_lookup(self):
+        assert PAPER_TABLE1.value(5, 50) == 2.2
+        assert PAPER_TABLE2.value(100, 50) == 0.61
+        assert PAPER_TABLE4.value(50, 50) == 0.51
+
+
+class TestTable1:
+    def test_small_grid_matches_paper(self):
+        got = table1(ks=[5, 50], ds=[5, 50], n_trials=600, rng=1)
+        for k in (5, 50):
+            for d in (5, 50):
+                assert got.value(k, d) == pytest.approx(
+                    PAPER_TABLE1.value(k, d), abs=0.12
+                )
+
+    def test_deterministic_with_seed(self):
+        a = table1(ks=[5], ds=[5], n_trials=100, rng=9)
+        b = table1(ks=[5], ds=[5], n_trials=100, rng=9)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestTable2:
+    def test_matches_paper_given_paper_v(self):
+        # Feed the PUBLISHED Table 1 values through eq. (40)/(41): the
+        # resulting ratios must match the published Table 2 closely.
+        got = table2(PAPER_TABLE1)
+        diff = np.abs(got.values - PAPER_TABLE2.values)
+        assert diff.max() <= 0.02
+
+    def test_srm_wins_every_cell(self):
+        got = table2(PAPER_TABLE1)
+        assert np.all(got.values < 1.0)
+
+    def test_ratio_rises_with_k_at_fixed_d(self):
+        # §9.2: "as k increases relative to D, the ratio gradually
+        # increases toward 1".
+        got = table2(PAPER_TABLE1)
+        for j in range(len(got.ds)):
+            col = got.values[:, j]
+            assert np.all(np.diff(col) > -0.03)
+
+
+class TestTable3:
+    def test_small_grid_near_one(self):
+        got = table3(ks=[5, 10], ds=[5], blocks_per_run=60, block_size=4, rng=2)
+        for k in (5, 10):
+            assert got.value(k, 5) == pytest.approx(1.0, abs=0.1)
+
+    def test_k5_d50_cell_shows_overhead(self):
+        # The one Table 3 cell with visible overhead: v(5, 50) ~ 1.2
+        # (converges from above as runs get longer; 150 blocks/run is
+        # already within a few percent of the paper's L = 1000).
+        got = table3(ks=[5], ds=[50], blocks_per_run=150, block_size=4, rng=3)
+        assert 1.08 <= got.value(5, 50) <= 1.35
+
+    def test_trials_average(self):
+        got = table3(
+            ks=[5], ds=[5], blocks_per_run=30, block_size=4, n_trials=3, rng=4
+        )
+        assert got.values.shape == (1, 1)
+
+
+class TestTable4:
+    def test_matches_paper_given_paper_v(self):
+        got = table4(PAPER_TABLE3)
+        diff = np.abs(got.values - PAPER_TABLE4.values)
+        assert diff.max() <= 0.02
+
+    def test_average_case_beats_worst_case(self):
+        # Table 4 entries are smaller than the matching Table 2 entries.
+        t4 = table4(PAPER_TABLE3)
+        for i, k in enumerate(t4.ks):
+            for j, d in enumerate(t4.ds):
+                assert t4.values[i, j] <= PAPER_TABLE2.value(k, d) + 1e-9
+
+
+class TestFigure1:
+    def test_instances(self):
+        f = figure1()
+        assert f.dependent_instance.sum() == 12
+        assert f.dependent_instance.max() == 4
+        assert f.classical_instance.sum() == 12
+        assert f.classical_instance.max() == 5
+
+    def test_conjecture(self):
+        f = figure1()
+        assert f.conjecture_holds
+        assert f.dependent_expected_max < f.classical_expected_max

@@ -1,0 +1,96 @@
+"""Tests for the discrete-event merge timeline simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import merge_makespan, simulate_merge_timeline
+from repro.core import MergeJob, simulate_merge
+from repro.disks import DISK_1996
+from repro.errors import ConfigError
+from repro.workloads import random_partition_runs
+
+
+def make_job(R=8, D=4, blocks=40, B=8, seed=3):
+    runs = random_partition_runs(R, blocks * B, rng=seed)
+    return MergeJob.from_key_runs(runs, B, D, rng=seed + 1), B
+
+
+class TestBasics:
+    def test_conservation(self):
+        job, B = make_job()
+        res = simulate_merge_timeline(job, DISK_1996, B, cpu_us_per_record=20)
+        # Busy times never exceed the makespan; makespan covers both.
+        assert res.cpu_busy_ms <= res.makespan_ms + 1e-9
+        assert res.io_busy_ms <= res.makespan_ms + 1e-9
+        assert res.makespan_ms >= max(res.cpu_busy_ms, res.io_busy_ms) - 1e-9
+
+    def test_cpu_busy_is_block_count_times_cost(self):
+        job, B = make_job()
+        res = simulate_merge_timeline(job, DISK_1996, B, cpu_us_per_record=20)
+        assert res.cpu_busy_ms == pytest.approx(job.n_blocks * B * 20 / 1000)
+
+    def test_write_count(self):
+        job, B = make_job(R=8, D=4, blocks=40)
+        res = simulate_merge_timeline(job, DISK_1996, B, 20)
+        assert res.total_writes == -(-job.n_blocks // 4)
+
+    def test_zero_cpu_cost(self):
+        job, B = make_job()
+        res = simulate_merge_timeline(job, DISK_1996, B, 0)
+        assert res.cpu_busy_ms == 0
+        assert res.makespan_ms == pytest.approx(res.io_busy_ms)
+
+    def test_validation(self):
+        job, B = make_job()
+        with pytest.raises(ConfigError):
+            simulate_merge_timeline(job, DISK_1996, B, -1)
+        with pytest.raises(ConfigError):
+            simulate_merge_timeline(job, DISK_1996, 0, 1)
+
+
+class TestPrefetchValue:
+    def test_prefetch_never_slower(self):
+        job, B = make_job()
+        t_io = DISK_1996.op_time_ms(B)
+        balanced = t_io * 1000 / B
+        for cpu in (balanced / 10, balanced, balanced * 10):
+            fast = simulate_merge_timeline(job, DISK_1996, B, cpu, prefetch=True)
+            slow = simulate_merge_timeline(job, DISK_1996, B, cpu, prefetch=False)
+            assert fast.makespan_ms <= slow.makespan_ms + 1e-6
+
+    def test_prefetch_hides_stalls_when_balanced(self):
+        job, B = make_job(R=16, D=4, blocks=60)
+        t_io = DISK_1996.op_time_ms(B)
+        cpu = t_io * 1000 / B  # cpu-per-block == io-per-op
+        fast = simulate_merge_timeline(job, DISK_1996, B, cpu, prefetch=True)
+        slow = simulate_merge_timeline(job, DISK_1996, B, cpu, prefetch=False)
+        assert fast.cpu_stall_ms < slow.cpu_stall_ms
+        assert fast.makespan_ms < 0.85 * slow.makespan_ms
+
+    def test_read_counts_match_pure_io_simulation(self):
+        # The timeline's demand-mode reads equal the count-only simulator's.
+        job, B = make_job()
+        res = simulate_merge_timeline(job, DISK_1996, B, 20, prefetch=False)
+        stats = simulate_merge(job)
+        assert res.total_reads == stats.total_reads
+
+    def test_consistent_with_analytic_model(self):
+        # The analytic pipelined estimate and the event simulation agree
+        # within a modest factor on a balanced workload.
+        job, B = make_job(R=12, D=4, blocks=50)
+        stats = simulate_merge(job)
+        t_io = DISK_1996.op_time_ms(B)
+        cpu = t_io * 1000 / B
+        analytic = merge_makespan(stats, DISK_1996, B, cpu)
+        event = simulate_merge_timeline(job, DISK_1996, B, cpu, prefetch=True)
+        ratio = event.makespan_ms / analytic.pipelined_ms
+        assert 0.5 <= ratio <= 2.0
+
+    def test_utilizations(self):
+        job, B = make_job()
+        t_io = DISK_1996.op_time_ms(B)
+        res = simulate_merge_timeline(job, DISK_1996, B, t_io * 1000 / B)
+        assert 0 < res.cpu_utilization <= 1
+        assert 0 < res.io_utilization <= 1

@@ -1,0 +1,45 @@
+"""The DSM cost model must be operation-exact vs the implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import dsm_exact_cost, dsm_sort
+from repro.core import DSMConfig
+from repro.errors import ConfigError
+
+
+class TestExactness:
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 4000),
+        d=st.integers(1, 4),
+        order=st.integers(2, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_execution(self, seed, n, d, order):
+        cfg = DSMConfig(n_disks=d, block_size=4, merge_order=order)
+        run_length = 32
+        keys = np.random.default_rng(seed).permutation(n)
+        _, res = dsm_sort(keys, cfg, run_length=run_length)
+        cost = dsm_exact_cost(n, run_length, cfg)
+        assert cost.parallel_reads == res.io.parallel_reads
+        assert cost.parallel_writes == res.io.parallel_writes
+        assert cost.runs_formed == res.runs_formed
+        assert cost.n_merge_passes == res.n_merge_passes
+
+    def test_scales_to_paper_sizes_instantly(self):
+        cfg = DSMConfig.from_memory(25_000, n_disks=10, block_size=100)
+        cost = dsm_exact_cost(100_000_000, 25_000, cfg)
+        assert cost.parallel_ios > 0
+        assert cost.n_merge_passes >= 3
+
+    def test_validation(self):
+        cfg = DSMConfig(n_disks=2, block_size=4, merge_order=2)
+        with pytest.raises(ConfigError):
+            dsm_exact_cost(0, 32, cfg)
+        with pytest.raises(ConfigError):
+            dsm_exact_cost(100, 2, cfg)

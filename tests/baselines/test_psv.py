@@ -1,0 +1,179 @@
+"""Tests for the Pai-Schaffer-Varman one-run-per-disk baseline (§2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    psv_merge,
+    psv_mergesort,
+    write_single_disk_run,
+    write_single_disk_runs_parallel,
+)
+from repro.disks import ParallelDiskSystem, StripedFile
+from repro.errors import ConfigError, DataError
+
+
+class TestSingleDiskRuns:
+    def test_run_lives_on_one_disk(self):
+        sys = ParallelDiskSystem(4, 2)
+        run = write_single_disk_run(sys, np.arange(10), 0, disk=2)
+        assert all(a.disk == 2 for a in run.addresses)
+        assert run.n_blocks == 5
+
+    def test_single_disk_write_serializes(self):
+        sys = ParallelDiskSystem(4, 2)
+        write_single_disk_run(sys, np.arange(10), 0, disk=1)
+        # 5 blocks on one disk: 5 operations (no write parallelism!).
+        assert sys.stats.parallel_writes == 5
+
+    def test_parallel_placement_writes_stripes(self):
+        sys = ParallelDiskSystem(4, 2)
+        runs = write_single_disk_runs_parallel(
+            sys, [np.arange(i * 8, (i + 1) * 8) for i in range(4)], 0
+        )
+        # 4 runs x 4 blocks written as 4 full stripes.
+        assert sys.stats.parallel_writes == 4
+        assert [r.disk for r in runs] == [0, 1, 2, 3]
+
+    def test_ragged_parallel_placement(self):
+        sys = ParallelDiskSystem(4, 2)
+        runs = write_single_disk_runs_parallel(
+            sys, [np.arange(8), np.arange(8, 12)], 0
+        )
+        assert runs[0].n_blocks == 4 and runs[1].n_blocks == 2
+
+    def test_too_many_runs(self):
+        sys = ParallelDiskSystem(2, 2)
+        with pytest.raises(ConfigError):
+            write_single_disk_runs_parallel(sys, [np.arange(2)] * 3, 0)
+
+    def test_unsorted_rejected(self):
+        sys = ParallelDiskSystem(2, 2)
+        with pytest.raises(DataError):
+            write_single_disk_run(sys, np.array([2, 1]), 0, 0)
+
+
+class TestPSVMerge:
+    def _runs(self, sys, arrays):
+        return write_single_disk_runs_parallel(sys, arrays, 0)
+
+    def test_merges_correctly(self):
+        sys = ParallelDiskSystem(2, 2)
+        runs = self._runs(sys, [np.arange(0, 20, 2), np.arange(1, 21, 2)])
+        res = psv_merge(sys, runs, buffer_blocks_per_run=2)
+        out = np.concatenate(
+            [sys.disks[a.disk].read(a.slot).keys for a in res.output.addresses]
+        )
+        assert np.array_equal(out, np.arange(20))
+
+    def test_balanced_runs_read_in_full_stripes(self):
+        # Lockstep interleaved runs: every read fetches one block/run.
+        sys = ParallelDiskSystem(2, 2)
+        N = 40
+        runs = self._runs(sys, [np.arange(0, N, 2), np.arange(1, N, 2)])
+        res = psv_merge(sys, runs, buffer_blocks_per_run=2)
+        assert res.parallel_reads == N // 2 // 2  # blocks per run
+
+    def test_skewed_runs_serialize_reads(self):
+        # One run entirely smaller: its disk becomes the bottleneck.
+        sys = ParallelDiskSystem(2, 2)
+        runs = self._runs(sys, [np.arange(0, 40), np.arange(100, 140)])
+        res = psv_merge(sys, runs, buffer_blocks_per_run=2)
+        # 20 + 20 blocks but reads are bounded below by the binding run
+        # after its buffer (2 blocks) is exhausted.
+        assert res.parallel_reads >= 20
+
+    def test_buffer_cap_respected(self):
+        sys = ParallelDiskSystem(4, 2)
+        arrays = [np.arange(i, 64, 4) for i in range(4)]
+        runs = self._runs(sys, arrays)
+        res = psv_merge(sys, runs, buffer_blocks_per_run=3)
+        assert res.max_buffered_blocks <= 4 * 3 + 4
+
+    def test_output_striped_round_robin(self):
+        sys = ParallelDiskSystem(2, 2)
+        runs = self._runs(sys, [np.arange(0, 8, 2), np.arange(1, 9, 2)])
+        res = psv_merge(sys, runs, 2)
+        assert [a.disk for a in res.output.addresses] == [0, 1, 0, 1]
+
+    def test_same_disk_runs_rejected(self):
+        sys = ParallelDiskSystem(2, 2)
+        a = write_single_disk_run(sys, np.arange(4), 0, 0)
+        b = write_single_disk_run(sys, np.arange(4, 8), 1, 0)
+        with pytest.raises(ConfigError):
+            psv_merge(sys, [a, b], 2)
+
+    def test_single_run_rejected(self):
+        sys = ParallelDiskSystem(2, 2)
+        a = write_single_disk_run(sys, np.arange(4), 0, 0)
+        with pytest.raises(DataError):
+            psv_merge(sys, [a], 2)
+
+
+class TestPSVSort:
+    def test_sorts(self, rng):
+        sys = ParallelDiskSystem(4, 8)
+        keys = rng.permutation(4096)
+        infile = StripedFile.from_records(sys, keys)
+        res = psv_mergesort(sys, infile, run_length=128)
+        assert np.array_equal(res.peek_sorted(), np.sort(keys))
+
+    def test_transposition_passes_counted(self, rng):
+        sys = ParallelDiskSystem(4, 8)
+        keys = rng.permutation(8192)  # 64 runs, D=4 -> 3 merge passes
+        infile = StripedFile.from_records(sys, keys)
+        res = psv_mergesort(sys, infile, run_length=128)
+        assert res.n_merge_passes == 3
+        # Every pass after the first consumes striped outputs.
+        assert res.n_transpositions == 2
+
+    def test_uses_more_ios_than_srm(self, rng):
+        """The paper's §2.2 contrast, executed on identical inputs."""
+        from repro.core import SRMConfig, srm_mergesort
+
+        keys = rng.permutation(8192)
+        sys_a = ParallelDiskSystem(4, 8)
+        res_psv = psv_mergesort(
+            sys_a, StripedFile.from_records(sys_a, keys), run_length=128
+        )
+        sys_b = ParallelDiskSystem(4, 8)
+        res_srm = srm_mergesort(
+            sys_b,
+            StripedFile.from_records(sys_b, keys),
+            SRMConfig.from_k(2, 4, 8),
+            rng=1,
+            run_length=128,
+        )
+        assert res_psv.total_parallel_ios > res_srm.io.parallel_ios
+
+    def test_single_run_degenerate(self, rng):
+        sys = ParallelDiskSystem(4, 8)
+        keys = rng.permutation(100)
+        infile = StripedFile.from_records(sys, keys)
+        res = psv_mergesort(sys, infile, run_length=128)
+        assert res.n_merge_passes == 0
+        assert np.array_equal(res.peek_sorted(), np.sort(keys))
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_sorts(self, seed, n):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(-(2**40), 2**40, size=n)
+        sys = ParallelDiskSystem(3, 4)
+        infile = StripedFile.from_records(sys, keys)
+        res = psv_mergesort(sys, infile, run_length=32)
+        assert np.array_equal(res.peek_sorted(), np.sort(keys))
+
+    def test_validation(self, rng):
+        sys = ParallelDiskSystem(1, 4)
+        infile = StripedFile.from_records(sys, rng.permutation(64))
+        with pytest.raises(ConfigError):
+            psv_mergesort(sys, infile, run_length=32)
+        sys2 = ParallelDiskSystem(2, 4)
+        empty = StripedFile.from_records(sys2, np.array([], dtype=np.int64))
+        with pytest.raises(ConfigError):
+            psv_mergesort(sys2, empty, run_length=32)

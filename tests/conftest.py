@@ -1,0 +1,19 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def make_sorted_keys(rng: np.random.Generator, n: int, lo: int = 0, hi: int = 10**9) -> np.ndarray:
+    """Distinct sorted int64 keys for run construction."""
+    keys = rng.choice(np.arange(lo, hi, dtype=np.int64), size=n, replace=False)
+    keys.sort()
+    return keys

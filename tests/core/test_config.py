@@ -1,0 +1,81 @@
+"""Tests for SRM/DSM configurations (paper §2.2, §9.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DSMConfig, SRMConfig, memory_records_for_k
+from repro.errors import ConfigError
+
+
+class TestSRMConfig:
+    def test_from_k(self):
+        cfg = SRMConfig.from_k(k=5, n_disks=10, block_size=100)
+        assert cfg.merge_order == 50
+        assert cfg.k == 5.0
+
+    def test_paper_memory_formula(self):
+        # M = (2k+4)DB + kD^2 must match the config's memory footprint.
+        k, D, B = 7, 10, 50
+        cfg = SRMConfig.from_k(k, D, B)
+        assert cfg.memory_records == memory_records_for_k(k, D, B)
+
+    def test_from_memory_inverts_memory_records(self):
+        # Giving SRM exactly its own footprint reproduces the merge order.
+        cfg = SRMConfig.from_k(5, 8, 64)
+        again = SRMConfig.from_memory(cfg.memory_records, 8, 64)
+        assert again.merge_order == cfg.merge_order
+
+    def test_from_memory_formula(self):
+        # R = floor((M - 4DB) / (2B + D)).
+        M, D, B = 10_000, 4, 32
+        cfg = SRMConfig.from_memory(M, D, B)
+        assert cfg.merge_order == (M - 4 * D * B) // (2 * B + D)
+
+    def test_memory_blocks_matches_partition(self):
+        cfg = SRMConfig(n_disks=4, block_size=16, merge_order=12)
+        # 2R + 4D buffers + ceil(RD/B) FDS blocks.
+        assert cfg.memory_blocks == 2 * 12 + 4 * 4 + -(-12 * 4 // 16)
+
+    def test_too_little_memory(self):
+        with pytest.raises(ConfigError):
+            SRMConfig.from_memory(10, n_disks=4, block_size=32)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigError):
+            SRMConfig(n_disks=0, block_size=8, merge_order=4)
+        with pytest.raises(ConfigError):
+            SRMConfig(n_disks=2, block_size=0, merge_order=4)
+        with pytest.raises(ConfigError):
+            SRMConfig(n_disks=2, block_size=8, merge_order=1)
+        with pytest.raises(ConfigError):
+            SRMConfig.from_k(0, 2, 8)
+
+
+class TestDSMConfig:
+    def test_paper_merge_order(self):
+        # With M = (2k+4)DB + kD^2, DSM merges k + 1 + kD/2B runs (§9.1).
+        k, D, B = 10, 4, 100
+        srm = SRMConfig.from_k(k, D, B)
+        dsm = DSMConfig.matching_srm(srm)
+        assert dsm.merge_order == k + 1 + (k * D) // (2 * B)
+
+    def test_superblock(self):
+        dsm = DSMConfig(n_disks=8, block_size=100, merge_order=4)
+        assert dsm.superblock_records == 800
+
+    def test_srm_merges_more_runs_than_dsm(self):
+        # The structural advantage: R_SRM = kD vs R_DSM ~ k.
+        srm = SRMConfig.from_k(5, 10, 100)
+        dsm = DSMConfig.matching_srm(srm)
+        assert srm.merge_order > dsm.merge_order
+
+    def test_too_little_memory(self):
+        with pytest.raises(ConfigError):
+            DSMConfig.from_memory(100, n_disks=8, block_size=32)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigError):
+            DSMConfig(n_disks=0, block_size=8, merge_order=4)
+        with pytest.raises(ConfigError):
+            DSMConfig(n_disks=2, block_size=8, merge_order=1)

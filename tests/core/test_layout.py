@@ -1,0 +1,62 @@
+"""Tests for run-placement strategies (paper §3, §8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LayoutStrategy, choose_start_disks
+from repro.errors import ConfigError
+
+
+class TestRandomized:
+    def test_range(self):
+        d = choose_start_disks(1000, 7, LayoutStrategy.RANDOMIZED, rng=0)
+        assert d.min() >= 0 and d.max() < 7
+
+    def test_deterministic_with_seed(self):
+        a = choose_start_disks(50, 5, LayoutStrategy.RANDOMIZED, rng=42)
+        b = choose_start_disks(50, 5, LayoutStrategy.RANDOMIZED, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        d = choose_start_disks(50_000, 5, LayoutStrategy.RANDOMIZED, rng=1)
+        counts = np.bincount(d, minlength=5)
+        assert counts.min() > 9000  # each disk ~10000 +- noise
+
+
+class TestDeterministicStrategies:
+    def test_staggered_matches_paper(self):
+        # §8: d_r = 0 for r < R/D, then 1, etc.
+        d = choose_start_disks(8, 4, LayoutStrategy.STAGGERED)
+        assert list(d) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_staggered_uneven(self):
+        d = choose_start_disks(5, 4, LayoutStrategy.STAGGERED)
+        # Groups of ceil(5/4) = 2.
+        assert list(d) == [0, 0, 1, 1, 2]
+
+    def test_round_robin(self):
+        d = choose_start_disks(6, 4, LayoutStrategy.ROUND_ROBIN)
+        assert list(d) == [0, 1, 2, 3, 0, 1]
+
+    def test_worst_case_all_zero(self):
+        d = choose_start_disks(10, 4, LayoutStrategy.WORST_CASE)
+        assert np.all(d == 0)
+
+    def test_fewer_runs_than_disks(self):
+        d = choose_start_disks(2, 8, LayoutStrategy.STAGGERED)
+        assert list(d) == [0, 1]
+
+
+class TestValidation:
+    def test_zero_runs_ok(self):
+        assert choose_start_disks(0, 4).size == 0
+
+    def test_negative_runs(self):
+        with pytest.raises(ConfigError):
+            choose_start_disks(-1, 4)
+
+    def test_no_disks(self):
+        with pytest.raises(ConfigError):
+            choose_start_disks(4, 0)

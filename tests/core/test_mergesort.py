@@ -1,0 +1,145 @@
+"""End-to-end SRM mergesort tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LayoutStrategy, SRMConfig, srm_mergesort, srm_sort
+from repro.disks import ParallelDiskSystem, StripedFile
+from repro.errors import ConfigError
+
+
+def small_config(D=4, B=8, k=2):
+    return SRMConfig.from_k(k, D, B)
+
+
+class TestCorrectness:
+    def test_basic_sort(self, rng):
+        cfg = small_config()
+        keys = rng.permutation(3000)
+        out, res = srm_sort(keys, cfg, rng=1, validate=True)
+        assert np.array_equal(out, np.sort(keys))
+        assert res.output.n_records == 3000
+
+    def test_already_sorted(self):
+        cfg = small_config()
+        keys = np.arange(1000)
+        out, _ = srm_sort(keys, cfg, rng=1)
+        assert np.array_equal(out, keys)
+
+    def test_reverse_sorted(self):
+        cfg = small_config()
+        keys = np.arange(1000)[::-1].copy()
+        out, _ = srm_sort(keys, cfg, rng=1)
+        assert np.array_equal(out, np.arange(1000))
+
+    def test_duplicates(self, rng):
+        cfg = small_config()
+        keys = rng.integers(0, 50, size=2000)
+        out, _ = srm_sort(keys, cfg, rng=1)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_tiny_input_single_run(self):
+        cfg = small_config()
+        keys = np.array([5, 3, 1])
+        out, res = srm_sort(keys, cfg, rng=1)
+        assert np.array_equal(out, np.array([1, 3, 5]))
+        assert res.n_merge_passes == 0
+
+    def test_empty_input(self):
+        cfg = small_config()
+        out, res = srm_sort(np.array([], dtype=np.int64), cfg)
+        assert out.size == 0
+        assert res is None
+
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(1, 2000),
+        d=st.integers(1, 5),
+        b=st.integers(1, 6),
+        k=st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_sorts_any_input(self, seed, n, d, b, k):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(-(2**40), 2**40, size=n)
+        cfg = SRMConfig(n_disks=d, block_size=b, merge_order=max(2, k * d))
+        out, _ = srm_sort(keys, cfg, rng=rng, validate=True, run_length=max(b, 4 * b))
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_replacement_selection_formation(self, rng):
+        cfg = small_config()
+        keys = rng.permutation(2000)
+        out, res = srm_sort(
+            keys, cfg, rng=2, formation="replacement_selection", run_length=100
+        )
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_all_layout_strategies_sort(self, rng):
+        keys = rng.permutation(1500)
+        for strat in LayoutStrategy:
+            out, _ = srm_sort(keys, small_config(), strategy=strat, rng=3)
+            assert np.array_equal(out, np.sort(keys))
+
+
+class TestPassStructure:
+    def test_pass_count_matches_log(self, rng):
+        # 3000 records, runs of 96 -> 32 runs; R = 8 -> 2 merge passes.
+        cfg = small_config(D=4, B=8, k=2)
+        keys = rng.permutation(3072)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=96)
+        assert res.runs_formed == 32
+        assert res.n_merge_passes == 2
+
+    def test_single_pass_when_runs_fit(self, rng):
+        cfg = small_config(D=4, B=8, k=2)  # R = 8
+        keys = rng.permutation(8 * 96)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=96)
+        assert res.n_merge_passes == 1
+
+    def test_each_pass_reads_and_writes_every_block(self, rng):
+        cfg = small_config(D=4, B=8, k=2)
+        keys = rng.permutation(3072)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=96)
+        n_blocks = 3072 // 8
+        for p in res.passes:
+            assert p.parallel_writes == n_blocks // 4  # perfect parallelism
+            assert p.parallel_reads >= n_blocks // 4
+
+    def test_leftover_run_carries_over_without_io(self, rng):
+        # 9 runs with R = 8: pass 1 merges 8 and carries 1.
+        cfg = small_config(D=4, B=8, k=2)
+        keys = rng.permutation(9 * 96)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=96)
+        assert res.passes[0].n_merges == 1
+        assert res.passes[0].n_runs_out == 2
+        assert res.n_merge_passes == 2
+
+    def test_write_efficiency_is_perfect(self, rng):
+        cfg = small_config()
+        keys = rng.permutation(4096)
+        _, res = srm_sort(keys, cfg, rng=1, run_length=128)
+        assert res.io.write_efficiency == 1.0
+
+
+class TestValidation:
+    def test_geometry_mismatch(self, rng):
+        system = ParallelDiskSystem(2, 8)
+        infile = StripedFile.from_records(system, rng.permutation(100))
+        with pytest.raises(ConfigError):
+            srm_mergesort(system, infile, small_config(D=4))
+
+    def test_empty_file_rejected(self):
+        system = ParallelDiskSystem(4, 8)
+        infile = StripedFile.from_records(system, np.array([], dtype=np.int64))
+        with pytest.raises(ConfigError):
+            srm_mergesort(system, infile, small_config())
+
+    def test_unknown_formation(self, rng):
+        system = ParallelDiskSystem(4, 8)
+        infile = StripedFile.from_records(system, rng.permutation(100))
+        with pytest.raises(ConfigError):
+            srm_mergesort(system, infile, small_config(), formation="quantum")

@@ -1,0 +1,95 @@
+"""Tests for partial striping (§2.2's [VS94] technique)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartialStriping,
+    SRMConfig,
+    merge_order_profile,
+    partial_striping_sort,
+)
+from repro.errors import ConfigError
+
+
+class TestGeometry:
+    def test_logical_dimensions(self):
+        ps = PartialStriping(physical_disks=8, physical_block=16, group_size=2)
+        assert ps.logical_disks == 4
+        assert ps.logical_block == 32
+
+    def test_g1_is_identity(self):
+        ps = PartialStriping(8, 16, 1)
+        assert ps.logical_disks == 8
+        assert ps.logical_block == 16
+
+    def test_gd_is_single_logical_disk(self):
+        ps = PartialStriping(8, 16, 8)
+        assert ps.logical_disks == 1
+        assert ps.logical_block == 128
+
+    def test_group_must_divide(self):
+        with pytest.raises(ConfigError):
+            PartialStriping(8, 16, 3)
+
+    def test_group_out_of_range(self):
+        with pytest.raises(ConfigError):
+            PartialStriping(8, 16, 0)
+        with pytest.raises(ConfigError):
+            PartialStriping(8, 16, 9)
+
+    def test_physical_ios_equal_logical(self):
+        ps = PartialStriping(8, 16, 4)
+        assert ps.physical_ios(123) == 123
+
+
+class TestConfigs:
+    def test_g1_matches_plain_srm(self):
+        M, D, B = 40_000, 8, 16
+        ps_cfg = PartialStriping(D, B, 1).srm_config(M)
+        plain = SRMConfig.from_memory(M, D, B)
+        assert ps_cfg == plain
+
+    def test_merge_order_shrinks_with_g(self):
+        M, D, B = 40_000, 8, 16
+        profile = merge_order_profile(M, D, B)
+        gs = [g for g, _ in profile]
+        orders = [r for _, r in profile]
+        assert gs == [1, 2, 4, 8]
+        assert all(a >= b for a, b in zip(orders, orders[1:]))
+
+    def test_profile_skips_infeasible(self):
+        # Tiny memory: large groups cannot support a merge at all.
+        profile = merge_order_profile(600, 8, 16)
+        assert all(r >= 2 for _, r in profile)
+        assert len(profile) < 4
+
+
+class TestSorting:
+    @pytest.mark.parametrize("g", [1, 2, 4, 8])
+    def test_sorts_for_every_group_size(self, g, rng):
+        keys = rng.permutation(6000)
+        out, res, ps = partial_striping_sort(
+            keys,
+            memory_records=2500,
+            n_disks=8,
+            block_size=8,
+            group_size=g,
+            rng=1,
+        )
+        assert np.array_equal(out, np.sort(keys))
+        assert ps.group_size == g
+
+    def test_interpolates_srm_to_dsm(self, rng):
+        """Growing g trades merge order down, costing extra passes."""
+        keys = rng.permutation(30_000)
+        passes = {}
+        for g in (1, 8):
+            _, res, _ = partial_striping_sort(
+                keys, memory_records=1200, n_disks=8, block_size=8,
+                group_size=g, rng=2, run_length=1200,
+            )
+            passes[g] = res.n_merge_passes
+        assert passes[1] <= passes[8]

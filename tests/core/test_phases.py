@@ -1,0 +1,147 @@
+"""Tests for §6 phase accounting and the Lemma 6 read bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MergeJob,
+    initial_load_reads,
+    lemma6_read_bound,
+    participation_order,
+    phase_chain_lengths,
+    phase_occupancies,
+    simulate_merge,
+)
+from repro.occupancy import dependent_max_occupancy_samples
+
+
+def partition_runs(rng, R, L):
+    perm = rng.permutation(R * L)
+    return [np.sort(perm[i * L : (i + 1) * L]) for i in range(R)]
+
+
+class TestInitialLoadReads:
+    def test_counts_start_disk_collisions(self):
+        job = MergeJob.from_key_runs(
+            [np.arange(i * 4, (i + 1) * 4) for i in range(5)],
+            2,
+            4,
+            start_disks=[0, 0, 0, 1, 2],
+        )
+        assert initial_load_reads(job) == 3
+
+    def test_matches_scheduler(self, rng):
+        job = MergeJob.from_key_runs(partition_runs(rng, 8, 24), 3, 4, rng=1)
+        stats = simulate_merge(job)
+        assert stats.initial_reads == initial_load_reads(job)
+
+
+class TestParticipationOrder:
+    def test_excludes_initial_blocks(self):
+        job = MergeJob.from_key_runs(
+            [np.arange(8), np.arange(8, 16)], 2, 2, start_disks=[0, 1]
+        )
+        order = participation_order(job)
+        assert (0, 0) not in order and (1, 0) not in order
+        assert len(order) == 6
+
+    def test_sorted_by_first_key(self):
+        rng = np.random.default_rng(0)
+        job = MergeJob.from_key_runs(partition_runs(rng, 3, 12), 2, 3, rng=2)
+        order = participation_order(job)
+        keys = [int(job.first_keys[r][b]) for r, b in order]
+        assert keys == sorted(keys)
+
+
+class TestPhaseOccupancies:
+    def test_phase_sizes(self):
+        rng = np.random.default_rng(1)
+        R, L, B = 4, 20, 2
+        job = MergeJob.from_key_runs(partition_runs(rng, R, L), B, 3, rng=3)
+        occ = phase_occupancies(job)
+        n_non_initial = R * (L // B) - R
+        assert occ.size == -(-n_non_initial // R)
+
+    def test_bounds_per_phase(self):
+        rng = np.random.default_rng(2)
+        job = MergeJob.from_key_runs(partition_runs(rng, 5, 20), 2, 4, rng=4)
+        occ = phase_occupancies(job)
+        # Each phase has <= R blocks so its max occupancy is in [ceil(R/D), R].
+        assert np.all(occ >= 1)
+        assert np.all(occ <= 5)
+
+    def test_worst_case_layout_concentrates(self):
+        # All runs on disk 0, lockstep-interleaved records: every phase's
+        # blocks land on a single disk -> L'_i = R.
+        R, B, D = 4, 2, 4
+        N = R * B * 10
+        runs = [np.arange(i, N, R) for i in range(R)]
+        job = MergeJob.from_key_runs(runs, B, D, start_disks=[0] * R)
+        occ = phase_occupancies(job)
+        assert np.all(occ == R)
+
+
+class TestChainLengths:
+    def test_chains_sum_to_phase_size(self):
+        rng = np.random.default_rng(3)
+        job = MergeJob.from_key_runs(partition_runs(rng, 6, 18), 3, 3, rng=5)
+        for chains, occ in zip(phase_chain_lengths(job), phase_occupancies(job)):
+            assert chains.sum() <= 6  # phase holds at most R blocks
+            # Occupancy of the phase can be resampled from its chains.
+            samples = dependent_max_occupancy_samples(chains, 3, n_trials=50, rng=1)
+            assert samples.min() >= -(-int(chains.sum()) // 3)
+
+    def test_lockstep_runs_make_unit_chains(self):
+        R, B = 4, 2
+        N = R * B * 6
+        runs = [np.arange(i, N, R) for i in range(R)]
+        job = MergeJob.from_key_runs(runs, B, 4, start_disks=[0, 1, 2, 3])
+        for chains in phase_chain_lengths(job):
+            assert np.all(chains == 1)
+
+    def test_sequential_runs_make_long_chains(self):
+        # Runs with disjoint, consecutive ranges participate one run at a
+        # time, so phases contain at most one chain per run and the very
+        # first phase is a single chain of length R.
+        R, B, L = 3, 2, 12
+        runs = [np.arange(i * L, (i + 1) * L) for i in range(R)]
+        job = MergeJob.from_key_runs(runs, B, 3, start_disks=[0, 1, 2])
+        chains = phase_chain_lengths(job)
+        assert list(chains[0]) == [R]
+        # Each phase mixes at most two adjacent runs.
+        assert all(c.size <= 2 for c in chains)
+
+
+class TestLemma6Bound:
+    @given(
+        seed=st.integers(0, 10_000),
+        r=st.integers(2, 7),
+        blocks=st.integers(2, 10),
+        d=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bound_holds_for_random_instances(self, seed, r, blocks, d):
+        rng = np.random.default_rng(seed)
+        job = MergeJob.from_key_runs(partition_runs(rng, r, blocks * 2), 2, d, rng=rng)
+        stats = simulate_merge(job, validate=True)
+        bound = lemma6_read_bound(job)
+        assert stats.total_reads <= bound.total
+
+    def test_bound_holds_for_adversarial_layout(self):
+        R, B, D = 5, 2, 5
+        N = R * B * 30
+        runs = [np.arange(i, N, R) for i in range(R)]
+        job = MergeJob.from_key_runs(runs, B, D, start_disks=[0] * R)
+        stats = simulate_merge(job, validate=True)
+        assert stats.total_reads <= lemma6_read_bound(job).total
+
+    def test_components(self):
+        rng = np.random.default_rng(5)
+        job = MergeJob.from_key_runs(partition_runs(rng, 4, 16), 2, 3, rng=6)
+        bound = lemma6_read_bound(job)
+        assert bound.total == bound.initial_reads + int(bound.phase_levels.sum())
+        assert bound.n_phases == bound.phase_levels.size

@@ -1,0 +1,134 @@
+"""Tests for initial run formation (paper §2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LayoutStrategy,
+    form_runs_load_sort,
+    form_runs_replacement_selection,
+)
+from repro.disks import ParallelDiskSystem, StripedFile
+from repro.errors import ConfigError
+
+
+def make_input(D=4, B=4, n=200, seed=0):
+    system = ParallelDiskSystem(D, B)
+    keys = np.random.default_rng(seed).permutation(n)
+    return system, keys, StripedFile.from_records(system, keys)
+
+
+class TestLoadSort:
+    def test_runs_are_sorted_and_cover_input(self):
+        system, keys, infile = make_input()
+        runs = form_runs_load_sort(system, infile, run_length=64, rng=1)
+        all_keys = np.concatenate([r.read_all(system) for r in runs])
+        assert np.array_equal(np.sort(all_keys), np.sort(keys))
+        for r in runs:
+            data = r.read_all(system)
+            assert np.all(data[:-1] <= data[1:])
+
+    def test_run_count(self):
+        system, _, infile = make_input(n=200, B=4)
+        runs = form_runs_load_sort(system, infile, run_length=64, rng=1)
+        # 50 blocks, 16 blocks per run -> ceil(50/16) = 4 runs.
+        assert len(runs) == 4
+
+    def test_run_lengths_block_aligned(self):
+        system, _, infile = make_input(n=200, B=4)
+        runs = form_runs_load_sort(system, infile, run_length=70, rng=1)
+        # 70 records rounds down to 17 blocks = 68 records per run.
+        assert runs[0].n_records == 68
+
+    def test_io_accounting(self):
+        system, _, infile = make_input(D=4, B=4, n=256)
+        system.stats.reset()
+        form_runs_load_sort(system, infile, run_length=64, rng=1)
+        # Each record read once and written once at full parallelism:
+        # 64 blocks / 4 disks = 16 reads; same for writes.
+        assert system.stats.parallel_reads == 16
+        assert system.stats.parallel_writes == 16
+
+    def test_input_freed(self):
+        system, _, infile = make_input(n=64)
+        runs = form_runs_load_sort(system, infile, run_length=64, rng=1)
+        assert system.used_blocks == sum(r.n_blocks for r in runs)
+
+    def test_input_kept_when_requested(self):
+        system, _, infile = make_input(n=64, B=4)
+        form_runs_load_sort(system, infile, 64, rng=1, free_input=False)
+        assert system.used_blocks == 2 * infile.n_blocks
+
+    def test_start_disk_strategy(self):
+        system, _, infile = make_input(D=4, B=4, n=256)
+        runs = form_runs_load_sort(
+            system, infile, 64, strategy=LayoutStrategy.ROUND_ROBIN
+        )
+        assert [r.start_disk for r in runs] == [0, 1, 2, 3]
+
+    def test_empty_file(self):
+        system = ParallelDiskSystem(2, 4)
+        infile = StripedFile.from_records(system, np.array([], dtype=np.int64))
+        assert form_runs_load_sort(system, infile, 64) == []
+
+    def test_run_length_below_block_rejected(self):
+        system, _, infile = make_input(B=8)
+        with pytest.raises(ConfigError):
+            form_runs_load_sort(system, infile, run_length=4)
+
+
+class TestReplacementSelection:
+    def test_runs_cover_input_sorted(self):
+        system, keys, infile = make_input(n=300, seed=3)
+        runs = form_runs_replacement_selection(system, infile, memory_records=32, rng=2)
+        all_keys = np.concatenate([r.read_all(system) for r in runs])
+        assert np.array_equal(np.sort(all_keys), np.sort(keys))
+        for r in runs:
+            data = r.read_all(system)
+            assert np.all(data[:-1] <= data[1:])
+
+    def test_expected_run_length_about_2m(self):
+        # Knuth: random input gives mean run length ~ 2M.
+        system, _, infile = make_input(n=4000, seed=7)
+        M = 50
+        runs = form_runs_replacement_selection(system, infile, memory_records=M, rng=2)
+        mean_len = np.mean([r.n_records for r in runs])
+        assert 1.4 * M <= mean_len <= 2.8 * M
+
+    def test_sorted_input_yields_single_run(self):
+        system = ParallelDiskSystem(2, 4)
+        keys = np.arange(100)
+        infile = StripedFile.from_records(system, keys)
+        runs = form_runs_replacement_selection(system, infile, memory_records=8)
+        assert len(runs) == 1
+        assert np.array_equal(runs[0].read_all(system), keys)
+
+    def test_reverse_sorted_input_yields_runs_of_m(self):
+        system = ParallelDiskSystem(2, 4)
+        keys = np.arange(100)[::-1].copy()
+        infile = StripedFile.from_records(system, keys)
+        M = 10
+        runs = form_runs_replacement_selection(system, infile, memory_records=M)
+        # Worst case: every run has exactly M records.
+        assert all(r.n_records == M for r in runs)
+
+    def test_fewer_records_than_memory(self):
+        system, keys, infile = make_input(n=20)
+        runs = form_runs_replacement_selection(system, infile, memory_records=100, rng=1)
+        assert len(runs) == 1
+        assert np.array_equal(runs[0].read_all(system), np.sort(keys))
+
+    def test_invalid_memory(self):
+        system, _, infile = make_input()
+        with pytest.raises(ConfigError):
+            form_runs_replacement_selection(system, infile, memory_records=0)
+
+    def test_produces_fewer_runs_than_load_sort(self):
+        # The paper's §2.1 point: replacement selection halves the runs.
+        sys_a, _, file_a = make_input(n=2000, seed=11)
+        runs_ls = form_runs_load_sort(sys_a, file_a, run_length=40, rng=1)
+        sys_b, _, file_b = make_input(n=2000, seed=11)
+        runs_rs = form_runs_replacement_selection(sys_b, file_b, memory_records=40, rng=1)
+        assert len(runs_rs) < len(runs_ls)

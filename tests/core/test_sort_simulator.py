@@ -1,0 +1,97 @@
+"""Tests for the full-sort block-level simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LayoutStrategy,
+    SRMConfig,
+    simulate_mergesort,
+    srm_sort,
+)
+from repro.errors import ConfigError
+
+
+class TestCrossValidation:
+    """The simulator must replay srm_mergesort's I/O exactly."""
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(100, 4000))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_real_engine(self, seed, n):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        rng = np.random.default_rng(seed)
+        keys = rng.permutation(n)
+        _, real = srm_sort(keys, cfg, rng=seed, run_length=128)
+        sim = simulate_mergesort(keys, cfg, run_length=128, rng=seed)
+        assert sim.parallel_reads == real.io.parallel_reads
+        assert sim.parallel_writes == real.io.parallel_writes
+        assert sim.runs_formed == real.runs_formed
+        assert sim.n_merge_passes == real.n_merge_passes
+        for sp, rp in zip(sim.passes, real.passes):
+            assert sp.parallel_reads == rp.parallel_reads
+            assert sp.parallel_writes == rp.parallel_writes
+
+    def test_matches_with_duplicate_keys(self):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 30, size=3000)
+        _, real = srm_sort(keys, cfg, rng=5, run_length=128)
+        sim = simulate_mergesort(keys, cfg, run_length=128, rng=5)
+        assert sim.parallel_reads == real.io.parallel_reads
+
+    def test_matches_under_staggered_layout(self):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        keys = np.random.default_rng(6).permutation(4096)
+        _, real = srm_sort(
+            keys, cfg, rng=6, run_length=128, strategy=LayoutStrategy.STAGGERED
+        )
+        sim = simulate_mergesort(
+            keys, cfg, run_length=128, rng=6, strategy=LayoutStrategy.STAGGERED
+        )
+        assert sim.parallel_reads == real.io.parallel_reads
+
+
+class TestStandalone:
+    def test_integer_input_draws_permutation(self):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        sim = simulate_mergesort(5000, cfg, run_length=128, rng=1)
+        assert sim.n_records == 5000
+        assert sim.runs_formed == -(-5000 // 128)
+
+    def test_deterministic_per_seed(self):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        a = simulate_mergesort(3000, cfg, run_length=128, rng=9)
+        b = simulate_mergesort(3000, cfg, run_length=128, rng=9)
+        assert a.parallel_reads == b.parallel_reads
+
+    def test_single_run_input(self):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        sim = simulate_mergesort(100, cfg, run_length=128, rng=1)
+        assert sim.n_merge_passes == 0
+        assert sim.parallel_reads == sim.formation_reads
+
+    def test_mean_overhead_near_one_average_case(self):
+        cfg = SRMConfig.from_k(8, 4, 16)
+        sim = simulate_mergesort(200_000, cfg, rng=2)
+        assert sim.mean_overhead_v == pytest.approx(1.0, abs=0.1)
+
+    def test_paper_scale_parameters_run(self):
+        # A small slice of the §10 "realistic machine" regime.
+        cfg = SRMConfig.from_k(10, 10, 100)
+        sim = simulate_mergesort(400_000, cfg, rng=3)
+        assert sim.n_merge_passes >= 1
+        assert sim.parallel_ios > 0
+
+    def test_empty_rejected(self):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        with pytest.raises(ConfigError):
+            simulate_mergesort(np.array([]), cfg)
+
+    def test_tiny_run_length_rejected(self):
+        cfg = SRMConfig.from_k(2, 4, 8)
+        with pytest.raises(ConfigError):
+            simulate_mergesort(100, cfg, run_length=4)

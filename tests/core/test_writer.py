@@ -1,0 +1,139 @@
+"""Tests for the streaming run writer (M_W semantics, §5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RunWriter
+from repro.disks import NO_KEY, ParallelDiskSystem
+from repro.errors import DataError, ScheduleError
+
+
+def write_run(D=3, B=2, n=20, chunk=5, start=1):
+    system = ParallelDiskSystem(D, B)
+    w = RunWriter(system, run_id=7, start_disk=start)
+    keys = np.arange(n, dtype=np.int64)
+    for i in range(0, n, chunk):
+        w.append(keys[i : i + chunk])
+    return system, w.finalize(), w
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        system, run, _ = write_run(n=23)
+        out = np.concatenate(
+            [system.disks[a.disk].read(a.slot).keys for a in run.addresses]
+        )
+        assert np.array_equal(out, np.arange(23))
+
+    def test_cyclic_layout(self):
+        system, run, _ = write_run(D=3, B=2, n=12, start=2)
+        assert [a.disk for a in run.addresses] == [2, 0, 1, 2, 0, 1]
+
+    def test_metadata(self):
+        _, run, _ = write_run(D=2, B=4, n=10)
+        assert list(run.first_keys) == [0, 4, 8]
+        assert list(run.last_keys) == [3, 7, 9]
+        assert run.n_records == 10
+
+    def test_empty_run_rejected(self):
+        system = ParallelDiskSystem(2, 2)
+        w = RunWriter(system, 0, 0)
+        with pytest.raises(DataError):
+            w.finalize()
+
+    def test_out_of_order_append_rejected(self):
+        system = ParallelDiskSystem(2, 2)
+        w = RunWriter(system, 0, 0)
+        w.append(np.array([5, 6]))
+        with pytest.raises(DataError):
+            w.append(np.array([3]))
+
+    def test_append_after_finalize_rejected(self):
+        system, _, w = write_run()
+        with pytest.raises(ScheduleError):
+            w.append(np.array([99]))
+
+    def test_double_finalize_rejected(self):
+        system, _, w = write_run()
+        with pytest.raises(ScheduleError):
+            w.finalize()
+
+    def test_invalid_start_disk(self):
+        system = ParallelDiskSystem(2, 2)
+        with pytest.raises(DataError):
+            RunWriter(system, 0, start_disk=5)
+
+
+class TestForecastFormat:
+    def _blocks(self, system, run):
+        return [system.disks[a.disk].read(a.slot) for a in run.addresses]
+
+    def test_block0_carries_first_d_keys(self):
+        system, run, _ = write_run(D=3, B=2, n=30)
+        b0 = self._blocks(system, run)[0]
+        assert b0.forecast == (0.0, 2.0, 4.0)
+
+    def test_interior_blocks_carry_i_plus_d(self):
+        system, run, _ = write_run(D=3, B=2, n=30)  # 15 blocks
+        blocks = self._blocks(system, run)
+        for i in range(1, 12):
+            assert blocks[i].forecast == (float((i + 3) * 2),)
+
+    def test_tail_blocks_carry_sentinel(self):
+        system, run, _ = write_run(D=3, B=2, n=30)
+        blocks = self._blocks(system, run)
+        for i in range(12, 15):
+            assert blocks[i].forecast == (NO_KEY,)
+
+    def test_short_run_all_in_finalize(self):
+        system, run, _ = write_run(D=4, B=2, n=6)  # 3 blocks < one stripe
+        blocks = self._blocks(system, run)
+        assert blocks[0].forecast == (0.0, 2.0, 4.0, NO_KEY)
+        assert blocks[1].forecast == (NO_KEY,)
+
+    def test_matches_striped_run_writer(self):
+        # RunWriter must produce byte-identical format to
+        # StripedRun.from_sorted_keys for the same keys.
+        from repro.disks import StripedRun
+
+        keys = np.arange(0, 37, dtype=np.int64)
+        sys_a = ParallelDiskSystem(3, 4)
+        run_a = StripedRun.from_sorted_keys(sys_a, keys, 0, 1)
+        sys_b = ParallelDiskSystem(3, 4)
+        w = RunWriter(sys_b, 0, 1)
+        w.append(keys)
+        run_b = w.finalize()
+        blocks_a = [sys_a.disks[a.disk].read(a.slot) for a in run_a.addresses]
+        blocks_b = [sys_b.disks[a.disk].read(a.slot) for a in run_b.addresses]
+        assert len(blocks_a) == len(blocks_b)
+        for x, y in zip(blocks_a, blocks_b):
+            assert np.array_equal(x.keys, y.keys)
+            assert x.forecast == y.forecast
+
+
+class TestIOAndBuffering:
+    def test_full_write_parallelism(self):
+        D, B, n = 4, 2, 64
+        system, run, _ = write_run(D=D, B=B, n=n, chunk=3)
+        assert system.stats.parallel_writes == n // B // D
+        assert system.stats.write_efficiency == 1.0
+
+    def test_buffer_bounded_by_2d(self):
+        D, B = 4, 2
+        system = ParallelDiskSystem(D, B)
+        w = RunWriter(system, 0, 0)
+        for i in range(0, 200, 2):  # small appends, as the merge produces
+            w.append(np.array([i, i + 1]))
+        w.finalize()
+        assert w.max_buffered_blocks <= 2 * D + 1
+
+    def test_single_record_run(self):
+        system = ParallelDiskSystem(3, 4)
+        w = RunWriter(system, 0, 0)
+        w.append(np.array([42]))
+        run = w.finalize()
+        assert run.n_records == 1
+        assert run.n_blocks == 1
+        assert system.stats.parallel_writes == 1

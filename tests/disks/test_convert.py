@@ -1,0 +1,96 @@
+"""Tests for run-layout conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disks import (
+    ParallelDiskSystem,
+    StripedRun,
+    restripe_run,
+    striped_run_to_superblock_run,
+    superblock_run_to_striped_run,
+)
+from repro.errors import DataError
+from repro.verify import check_striped_run, check_superblock_run
+
+
+def striped(system, n=40, start=1, payloads=False):
+    keys = np.arange(0, n * 2, 2)
+    p = keys + 7 if payloads else None
+    return StripedRun.from_sorted_keys(system, keys, 0, start, payloads=p)
+
+
+class TestStripedToSuperblock:
+    def test_roundtrip_content(self):
+        system = ParallelDiskSystem(4, 4)
+        run = striped(system)
+        sb = striped_run_to_superblock_run(system, run, 1)
+        check_superblock_run(system, sb)
+        assert np.array_equal(sb.read_all(system), np.arange(0, 80, 2))
+
+    def test_payloads_survive(self):
+        system = ParallelDiskSystem(4, 4)
+        run = striped(system, payloads=True)
+        sb = striped_run_to_superblock_run(system, run, 1)
+        blk = system.disks[sb.stripes[0][0].disk].read(sb.stripes[0][0].slot)
+        assert blk.payloads is not None
+
+    def test_input_freed(self):
+        system = ParallelDiskSystem(4, 4)
+        run = striped(system)
+        sb = striped_run_to_superblock_run(system, run, 1)
+        live = sum(len(s) for s in sb.stripes)
+        assert system.used_blocks == live
+
+    def test_costs_one_read_and_write_pass(self):
+        system = ParallelDiskSystem(4, 4)
+        run = striped(system, n=64)  # 64 records = 16 blocks
+        system.stats.reset()
+        striped_run_to_superblock_run(system, run, 1)
+        assert system.stats.parallel_reads == 4
+        assert system.stats.parallel_writes == 4
+
+
+class TestSuperblockToStriped:
+    def test_roundtrip_and_format(self):
+        from repro.baselines import write_superblock_run
+
+        system = ParallelDiskSystem(3, 4)
+        sb = write_superblock_run(system, np.arange(50), 0)
+        run = superblock_run_to_striped_run(system, sb, 1, start_disk=2)
+        check_striped_run(system, run)
+        assert run.start_disk == 2
+        assert np.array_equal(run.read_all(system), np.arange(50))
+
+    def test_feeds_srm_merge(self):
+        """A converted DSM run is a first-class SRM input."""
+        from repro.baselines import write_superblock_run
+        from repro.core import merge_runs
+
+        system = ParallelDiskSystem(3, 4)
+        sb = write_superblock_run(system, np.arange(0, 60, 2), 0)
+        a = superblock_run_to_striped_run(system, sb, 1, 0)
+        b = StripedRun.from_sorted_keys(system, np.arange(1, 61, 2), 2, 1)
+        res = merge_runs(system, [a, b], 3, 0, validate=True)
+        out = np.concatenate(
+            [system.disks[x.disk].read(x.slot).keys for x in res.output.addresses]
+        )
+        assert np.array_equal(out, np.arange(60))
+
+
+class TestRestripe:
+    def test_new_start_disk(self):
+        system = ParallelDiskSystem(4, 4)
+        run = striped(system, start=1)
+        moved = restripe_run(system, run, 1, new_start_disk=3)
+        check_striped_run(system, moved)
+        assert moved.start_disk == 3
+        assert np.array_equal(moved.read_all(system), np.arange(0, 80, 2))
+
+    def test_invalid_disk(self):
+        system = ParallelDiskSystem(2, 4)
+        run = striped(system, start=0)
+        with pytest.raises(DataError):
+            restripe_run(system, run, 1, new_start_disk=5)

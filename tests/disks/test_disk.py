@@ -1,0 +1,88 @@
+"""Tests for the single-disk block store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disks.block import Block
+from repro.disks.disk import Disk
+from repro.errors import DiskFullError, InvalidIOError
+
+
+def blk(v=0):
+    return Block(keys=np.array([v]))
+
+
+class TestAllocation:
+    def test_slots_are_distinct(self):
+        d = Disk(0)
+        slots = [d.allocate() for _ in range(10)]
+        assert len(set(slots)) == 10
+
+    def test_freed_slots_are_recycled(self):
+        d = Disk(0)
+        s = d.allocate()
+        d.write(s, blk())
+        d.free(s)
+        assert d.allocate() == s
+
+    def test_capacity_enforced(self):
+        d = Disk(0, capacity_blocks=2)
+        for _ in range(2):
+            d.write(d.allocate(), blk())
+        with pytest.raises(DiskFullError):
+            d.allocate()
+
+    def test_capacity_counts_live_blocks_only(self):
+        d = Disk(0, capacity_blocks=1)
+        s = d.allocate()
+        d.write(s, blk())
+        d.free(s)
+        d.allocate()  # does not raise
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        d = Disk(0)
+        s = d.allocate()
+        b = blk(7)
+        d.write(s, b)
+        assert d.read(s) is b
+
+    def test_read_empty_slot_raises(self):
+        d = Disk(0)
+        s = d.allocate()
+        with pytest.raises(InvalidIOError):
+            d.read(s)
+
+    def test_overwrite_live_block_raises(self):
+        d = Disk(0)
+        s = d.allocate()
+        d.write(s, blk())
+        with pytest.raises(InvalidIOError):
+            d.write(s, blk())
+
+    def test_free_then_rewrite_ok(self):
+        d = Disk(0)
+        s = d.allocate()
+        d.write(s, blk(1))
+        d.free(s)
+        d.write(s, blk(2))
+        assert d.read(s).first_key == 2
+
+    def test_has_block(self):
+        d = Disk(0)
+        s = d.allocate()
+        assert not d.has_block(s)
+        d.write(s, blk())
+        assert d.has_block(s)
+
+    def test_used_blocks(self):
+        d = Disk(0)
+        slots = [d.allocate() for _ in range(3)]
+        for s in slots:
+            d.write(s, blk())
+        assert d.used_blocks == 3
+        d.free(slots[0])
+        assert d.used_blocks == 2

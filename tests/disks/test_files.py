@@ -1,0 +1,101 @@
+"""Tests for striped files and forecast-format runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disks import NO_KEY, ParallelDiskSystem, StripedFile, StripedRun
+from repro.errors import DataError
+
+
+class TestStripedFile:
+    def test_round_robin_layout(self):
+        sys = ParallelDiskSystem(n_disks=3, block_size=2)
+        f = StripedFile.from_records(sys, np.arange(10))
+        assert [a.disk for a in f.addresses] == [0, 1, 2, 0, 1]
+
+    def test_roundtrip(self):
+        sys = ParallelDiskSystem(n_disks=3, block_size=4)
+        keys = np.array([5, 1, 9, 2, 8, 3, 7])
+        f = StripedFile.from_records(sys, keys)
+        assert np.array_equal(f.read_all(sys), keys)
+
+    def test_no_io_charged_by_default(self):
+        sys = ParallelDiskSystem(n_disks=2, block_size=2)
+        StripedFile.from_records(sys, np.arange(8))
+        assert sys.stats.parallel_writes == 0
+
+    def test_io_charged_when_requested(self):
+        sys = ParallelDiskSystem(n_disks=2, block_size=2)
+        StripedFile.from_records(sys, np.arange(8), count_ios=True)
+        # 4 blocks striped over 2 disks -> 2 full-stripe writes.
+        assert sys.stats.parallel_writes == 2
+
+    def test_sequential_read_is_fully_parallel(self):
+        sys = ParallelDiskSystem(n_disks=4, block_size=2)
+        f = StripedFile.from_records(sys, np.arange(16))  # 8 blocks
+        f.read_all(sys)
+        assert sys.stats.parallel_reads == 2  # ceil(8/4)
+        assert sys.stats.read_efficiency == 1.0
+
+    def test_empty_file(self):
+        sys = ParallelDiskSystem(n_disks=2, block_size=2)
+        f = StripedFile.from_records(sys, np.array([], dtype=np.int64))
+        assert f.n_blocks == 0
+        assert f.read_all(sys).size == 0
+
+
+class TestStripedRun:
+    def test_cyclic_layout_from_start_disk(self):
+        sys = ParallelDiskSystem(n_disks=4, block_size=2)
+        run = StripedRun.from_sorted_keys(sys, np.arange(20), run_id=0, start_disk=2)
+        assert [a.disk for a in run.addresses] == [2, 3, 0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rejects_unsorted(self):
+        sys = ParallelDiskSystem(n_disks=2, block_size=2)
+        with pytest.raises(DataError):
+            StripedRun.from_sorted_keys(sys, np.array([3, 1, 2]), 0, 0)
+
+    def test_rejects_empty(self):
+        sys = ParallelDiskSystem(n_disks=2, block_size=2)
+        with pytest.raises(DataError):
+            StripedRun.from_sorted_keys(sys, np.array([], dtype=np.int64), 0, 0)
+
+    def test_perfect_write_parallelism(self):
+        sys = ParallelDiskSystem(n_disks=4, block_size=2)
+        StripedRun.from_sorted_keys(sys, np.arange(24), 0, start_disk=1)
+        # 12 blocks over 4 disks -> exactly 3 full-stripe writes.
+        assert sys.stats.parallel_writes == 3
+        assert sys.stats.write_efficiency == 1.0
+
+    def test_partial_final_stripe(self):
+        sys = ParallelDiskSystem(n_disks=4, block_size=2)
+        StripedRun.from_sorted_keys(sys, np.arange(10), 0, start_disk=0)  # 5 blocks
+        assert sys.stats.parallel_writes == 2
+
+    def test_first_and_last_keys_recorded(self):
+        sys = ParallelDiskSystem(n_disks=2, block_size=3)
+        run = StripedRun.from_sorted_keys(sys, np.arange(0, 18, 2), 0, 0)
+        assert list(run.first_keys) == [0, 6, 12]
+        assert list(run.last_keys) == [4, 10, 16]
+
+    def test_forecast_format_on_disk(self):
+        sys = ParallelDiskSystem(n_disks=2, block_size=2)
+        run = StripedRun.from_sorted_keys(sys, np.arange(12), 0, 0)  # 6 blocks
+        b0 = sys.disks[run.addresses[0].disk].read(run.addresses[0].slot)
+        assert b0.forecast == (0.0, 2.0)
+        b1 = sys.disks[run.addresses[1].disk].read(run.addresses[1].slot)
+        assert b1.forecast == (6.0,)
+        b5 = sys.disks[run.addresses[5].disk].read(run.addresses[5].slot)
+        assert b5.forecast == (NO_KEY,)
+
+    @given(n=st.integers(1, 100), d0=st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, n, d0):
+        sys = ParallelDiskSystem(n_disks=3, block_size=4)
+        keys = np.arange(n, dtype=np.int64) * 3
+        run = StripedRun.from_sorted_keys(sys, keys, 0, d0)
+        assert np.array_equal(run.read_all(sys), keys)

@@ -1,0 +1,84 @@
+"""Tests for cyclic striping arithmetic (paper §3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.disks.striping import (
+    blocks_per_disk,
+    chain_length,
+    chain_position_to_block,
+    chain_start_index,
+    cyclic_disk,
+)
+from repro.errors import ConfigError
+
+
+class TestCyclicDisk:
+    def test_paper_rule(self):
+        # "if the 0th block of a run r is on disk d_r, then the ith block
+        #  resides on disk (i + d_r) mod D"
+        assert cyclic_disk(start_disk=2, block_index=0, n_disks=5) == 2
+        assert cyclic_disk(2, 1, 5) == 3
+        assert cyclic_disk(2, 3, 5) == 0
+        assert cyclic_disk(2, 8, 5) == 0
+
+    def test_invalid_start_disk(self):
+        with pytest.raises(ConfigError):
+            cyclic_disk(5, 0, 5)
+        with pytest.raises(ConfigError):
+            cyclic_disk(-1, 0, 5)
+
+    @given(d0=st.integers(0, 7), i=st.integers(0, 1000))
+    def test_consecutive_blocks_on_consecutive_disks(self, d0, i):
+        D = 8
+        assert cyclic_disk(d0, i + 1, D) == (cyclic_disk(d0, i, D) + 1) % D
+
+
+class TestChains:
+    def test_chain_start(self):
+        # run starts on disk 1 with D=4: disk 1 chain starts at block 0,
+        # disk 2 at block 1, disk 0 at block 3.
+        assert chain_start_index(1, 1, 4) == 0
+        assert chain_start_index(1, 2, 4) == 1
+        assert chain_start_index(1, 0, 4) == 3
+
+    def test_chain_position_to_block(self):
+        assert chain_position_to_block(1, 2, 0, 4) == 1
+        assert chain_position_to_block(1, 2, 3, 4) == 13
+
+    @given(
+        d0=st.integers(0, 5),
+        disk=st.integers(0, 5),
+        pos=st.integers(0, 50),
+    )
+    def test_chain_blocks_live_on_their_disk(self, d0, disk, pos):
+        D = 6
+        blk = chain_position_to_block(d0, disk, pos, D)
+        assert cyclic_disk(d0, blk, D) == disk
+
+    def test_chain_length_examples(self):
+        # 10 blocks starting on disk 0, D=4: disks get 3,3,2,2.
+        assert blocks_per_disk(0, 10, 4) == [3, 3, 2, 2]
+        # 4 blocks starting on disk 3, D=4: every disk gets exactly 1.
+        assert blocks_per_disk(3, 4, 4) == [1, 1, 1, 1]
+
+    def test_chain_length_zero_for_short_run(self):
+        assert chain_length(0, 3, n_blocks=2, n_disks=4) == 0
+
+    @given(
+        d0=st.integers(0, 4),
+        n_blocks=st.integers(0, 200),
+    )
+    def test_chain_lengths_sum_to_block_count(self, d0, n_blocks):
+        D = 5
+        assert sum(blocks_per_disk(d0, n_blocks, D)) == n_blocks
+
+    @given(d0=st.integers(0, 4), n_blocks=st.integers(1, 200))
+    def test_chain_lengths_differ_by_at_most_one(self, d0, n_blocks):
+        # Cyclic striping balances a single run perfectly — the intuition
+        # behind Lemma 9's ceil(l/D) per-chain occupancy.
+        lengths = blocks_per_disk(d0, n_blocks, 5)
+        assert max(lengths) - min(lengths) <= 1

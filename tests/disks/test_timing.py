@@ -1,0 +1,34 @@
+"""Tests for the disk timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disks.timing import DISK_1996, DISK_MODERN, DiskTimingModel
+
+
+class TestTimingModel:
+    def test_rotation_latency_is_half_revolution(self):
+        t = DiskTimingModel(rpm=6000)
+        # 6000 RPM -> 10 ms/rev -> 5 ms average latency.
+        assert t.avg_rotation_ms == pytest.approx(5.0)
+
+    def test_transfer_time_scales_with_block(self):
+        t = DiskTimingModel(transfer_mb_per_s=8, record_bytes=8)
+        assert t.block_transfer_ms(2000) == pytest.approx(2 * t.block_transfer_ms(1000))
+
+    def test_op_time_composition(self):
+        t = DiskTimingModel(avg_seek_ms=10, rpm=6000, transfer_mb_per_s=8)
+        assert t.op_time_ms(1000) == pytest.approx(
+            10 + 5 + t.block_transfer_ms(1000)
+        )
+
+    def test_stripe_time_independent_of_width(self):
+        t = DISK_1996
+        assert t.stripe_time_ms(1000, 1) == t.stripe_time_ms(1000, 10)
+
+    def test_stripe_time_zero_for_idle_operation(self):
+        assert DISK_1996.stripe_time_ms(1000, 0) == 0.0
+
+    def test_modern_disk_is_faster(self):
+        assert DISK_MODERN.op_time_ms(1000) < DISK_1996.op_time_ms(1000)

@@ -1,0 +1,132 @@
+"""Tests for I/O trace recording and analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disks import Block, IOTrace, ParallelDiskSystem
+
+
+def blk(v=0):
+    return Block(keys=np.array([v]))
+
+
+def traced_system(D=4, B=2):
+    sys = ParallelDiskSystem(D, B)
+    sys.trace = IOTrace()
+    return sys
+
+
+class TestRecording:
+    def test_events_captured_in_order(self):
+        sys = traced_system()
+        a = sys.allocate(0)
+        b = sys.allocate(2)
+        sys.write_stripe([(a, blk()), (b, blk())])
+        sys.read_stripe([a])
+        assert len(sys.trace) == 2
+        assert sys.trace.events[0].kind == "write"
+        assert sys.trace.events[0].disks == (0, 2)
+        assert sys.trace.events[1].kind == "read"
+        assert sys.trace.events[1].disks == (0,)
+
+    def test_indices_sequential(self):
+        sys = traced_system()
+        for d in range(3):
+            a = sys.allocate(d)
+            sys.write_stripe([(a, blk())])
+        assert [ev.index for ev in sys.trace.events] == [0, 1, 2]
+
+    def test_no_trace_by_default(self):
+        sys = ParallelDiskSystem(2, 2)
+        a = sys.allocate(0)
+        sys.write_stripe([(a, blk())])  # must not raise
+        assert sys.trace is None
+
+    def test_elapsed_recorded_with_timing(self):
+        from repro.disks import DISK_1996
+
+        sys = ParallelDiskSystem(2, 2, timing=DISK_1996)
+        sys.trace = IOTrace()
+        a = sys.allocate(0)
+        sys.write_stripe([(a, blk())])
+        assert sys.trace.events[0].elapsed_ms > 0
+
+
+class TestAnalyses:
+    def _trace(self):
+        t = IOTrace()
+        t.record("read", [0, 1, 2, 3], 0.0)
+        t.record("read", [0], 0.0)
+        t.record("read", [0, 1], 0.0)
+        t.record("write", [0, 1, 2, 3], 0.0)
+        return t
+
+    def test_disk_participation(self):
+        t = self._trace()
+        assert list(t.disk_participation(4, "read")) == [3, 2, 1, 1]
+
+    def test_utilization(self):
+        t = self._trace()
+        u = t.utilization(4, "read")
+        assert u[0] == pytest.approx(1.0)
+        assert u[3] == pytest.approx(1 / 3)
+
+    def test_utilization_empty(self):
+        assert np.all(IOTrace().utilization(3) == 1.0)
+
+    def test_width_histogram(self):
+        t = self._trace()
+        h = t.width_histogram(4, "read")
+        assert h[1] == 1 and h[2] == 1 and h[4] == 1
+
+    def test_mean_width(self):
+        t = self._trace()
+        assert t.mean_width("read") == pytest.approx((4 + 1 + 2) / 3)
+        assert t.mean_width("write") == 4.0
+        assert IOTrace().mean_width() == 0.0
+
+    def test_imbalance(self):
+        t = self._trace()
+        # read participations 3,2,1,1 -> max/mean = 3/1.75.
+        assert t.imbalance(4, "read") == pytest.approx(3 / 1.75)
+
+    def test_summary(self):
+        text = self._trace().summary(4)
+        assert "4 parallel ops" in text
+        assert "imbalance" in text
+        assert IOTrace().summary() == "empty trace"
+
+    def test_timeline_ascii(self):
+        text = self._trace().timeline_ascii(4, width=4)
+        lines = text.splitlines()
+        assert len(lines) == 5  # 4 disks + footer
+        assert lines[0].startswith("disk  0 |")
+        # Disk 0 participates in every op -> all '#'.
+        assert set(lines[0].split("|")[1]) == {"#"}
+
+    def test_timeline_ascii_empty(self):
+        assert IOTrace().timeline_ascii(2) == "(no operations)"
+
+    def test_timeline_ascii_kind_filter(self):
+        text = self._trace().timeline_ascii(4, width=3, kind="write")
+        assert "1 ops" in text
+
+
+class TestTraceOnSorts:
+    def test_worst_case_layout_shows_imbalance(self, rng):
+        """The §3 adversary is visible in the read trace."""
+        from repro.core import LayoutStrategy, SRMConfig, srm_mergesort
+        from repro.disks import StripedFile
+
+        cfg = SRMConfig.from_k(2, 4, 8)
+        results = {}
+        for strat in (LayoutStrategy.RANDOMIZED, LayoutStrategy.WORST_CASE):
+            sys = ParallelDiskSystem(4, 8)
+            sys.trace = IOTrace()
+            keys = np.random.default_rng(3).permutation(4096)
+            infile = StripedFile.from_records(sys, keys)
+            srm_mergesort(sys, infile, cfg, strategy=strat, rng=4, run_length=128)
+            results[strat] = sys.trace.imbalance(4, "read")
+        assert results[LayoutStrategy.WORST_CASE] >= results[LayoutStrategy.RANDOMIZED]

@@ -1,0 +1,120 @@
+"""Tests for the {M_L, M_R, M_D, M_W} buffer partition (paper §5.1-5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ScheduleError
+from repro.memory import BufferPool
+
+
+def pool(R=6, D=3):
+    return BufferPool(merge_order=R, n_disks=D)
+
+
+class TestCapacities:
+    def test_paper_partition_sizes(self):
+        p = pool(R=6, D=3)
+        assert p.ml_capacity == 6        # R
+        assert p.mr_capacity == 9        # R + D
+        assert p.md_capacity == 3        # D
+        assert p.mw_capacity == 6        # 2D
+        assert p.total_frames == 2 * 6 + 4 * 3  # 2R + 4D
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            BufferPool(merge_order=0, n_disks=2)
+        with pytest.raises(ConfigError):
+            BufferPool(merge_order=2, n_disks=0)
+
+
+class TestLeadingBlocks:
+    def test_load_and_retire(self):
+        p = pool()
+        p.load_leading()
+        assert p.ml_occupied == 1
+        p.retire_leading()
+        assert p.ml_occupied == 0
+
+    def test_ml_overflow(self):
+        p = pool(R=2, D=1)
+        p.load_leading()
+        p.load_leading()
+        with pytest.raises(ScheduleError):
+            p.load_leading()
+
+    def test_ml_underflow(self):
+        with pytest.raises(ScheduleError):
+            pool().retire_leading()
+
+
+class TestMr:
+    def test_stage_read(self):
+        p = pool()
+        p.stage_read_into_mr(3)
+        assert p.mr_occupied == 3
+        assert p.mr_free == p.mr_capacity - 3
+
+    def test_mr_overflow_is_lemma1_violation(self):
+        p = pool(R=2, D=2)  # capacity 4
+        p.stage_read_into_mr(4)
+        with pytest.raises(ScheduleError):
+            p.stage_read_into_mr(1)
+
+    def test_promote_moves_frame_to_ml(self):
+        p = pool()
+        p.stage_read_into_mr(2)
+        p.promote_to_leading()
+        assert p.mr_occupied == 1
+        assert p.ml_occupied == 1
+
+    def test_promote_underflow(self):
+        with pytest.raises(ScheduleError):
+            pool().promote_to_leading()
+
+    def test_flush_frees_frames(self):
+        p = pool()
+        p.stage_read_into_mr(5)
+        p.flush(2)
+        assert p.mr_occupied == 3
+
+    def test_flush_underflow(self):
+        p = pool()
+        p.stage_read_into_mr(1)
+        with pytest.raises(ScheduleError):
+            p.flush(2)
+
+    def test_flush_negative(self):
+        with pytest.raises(ScheduleError):
+            pool().flush(-1)
+
+
+class TestScheduleConditions:
+    def test_can_read_without_flush(self):
+        p = pool(R=4, D=2)  # M_R capacity 6
+        p.stage_read_into_mr(4)
+        assert p.can_read_without_flush()  # 2 free = D
+        p.stage_read_into_mr(1)
+        assert not p.can_read_without_flush()
+
+    def test_extra(self):
+        p = pool(R=4, D=2)
+        p.stage_read_into_mr(4)
+        assert p.extra == 0
+        p.stage_read_into_mr(2)
+        assert p.extra == 2
+
+
+class TestOutputBuffer:
+    def test_buffer_and_drain(self):
+        p = pool(R=2, D=2)  # M_W capacity 4
+        for _ in range(4):
+            p.buffer_output_block()
+        with pytest.raises(ScheduleError):
+            p.buffer_output_block()
+        p.drain_output_stripe(2)
+        assert p.mw_occupied == 2
+
+    def test_drain_underflow(self):
+        with pytest.raises(ScheduleError):
+            pool().drain_output_stripe(1)

@@ -1,0 +1,56 @@
+"""State-machine fuzz of the buffer pool against a reference model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.memory import BufferPool
+
+
+class TestPoolStateMachine:
+    @given(
+        r=st.integers(1, 8),
+        d=st.integers(1, 6),
+        ops=st.lists(st.tuples(st.integers(0, 5), st.integers(1, 6)), max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_sequences_never_corrupt_counts(self, r, d, ops):
+        pool = BufferPool(merge_order=r, n_disks=d)
+        ml = mr = mw = 0  # reference occupancies
+        for op, arg in ops:
+            try:
+                if op == 0:
+                    pool.load_leading()
+                    ml += 1
+                elif op == 1:
+                    pool.retire_leading()
+                    ml -= 1
+                elif op == 2:
+                    pool.stage_read_into_mr(arg)
+                    mr += arg
+                elif op == 3:
+                    pool.promote_to_leading()
+                    mr -= 1
+                    ml += 1
+                elif op == 4:
+                    pool.flush(arg)
+                    mr -= arg
+                else:
+                    pool.buffer_output_block()
+                    mw += 1
+            except ScheduleError:
+                # A rejected transition must leave state untouched.
+                pass
+            else:
+                # Accepted transitions stay within capacity.
+                assert 0 <= ml <= r
+                assert 0 <= mr <= r + d
+                assert 0 <= mw <= 2 * d
+            assert pool.ml_occupied == ml
+            assert pool.mr_occupied == mr
+            assert pool.mw_occupied == mw
+            assert pool.extra == max(0, mr - r)
+            assert pool.can_read_without_flush() == (r + d - mr >= d)

@@ -1,0 +1,114 @@
+"""Tests for the Theorem 2 analytic bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.occupancy import (
+    exact_classical_expected_max,
+    expected_max_occupancy,
+    gf_expected_max_bound,
+    max_occupancy_samples,
+    max_tail_probability_bound,
+    tail_probability_bound,
+    theorem2_case1_bound,
+    theorem2_case2_bound,
+)
+
+
+class TestTailBound:
+    def test_is_valid_probability_bound(self):
+        # Empirical tail frequency must sit below the analytic bound.
+        n_balls, d = 100, 10
+        samples = max_occupancy_samples(n_balls, d, n_trials=4000, rng=5)
+        for m in (15, 20, 25):
+            emp = float((samples > m).mean())
+            bound = max_tail_probability_bound(n_balls, d, m)
+            assert emp <= bound + 0.02
+
+    def test_decreasing_in_m(self):
+        bounds = [max_tail_probability_bound(50, 5, m) for m in range(10, 30, 4)]
+        assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            tail_probability_bound(10, 2, 5, alpha=0)
+
+    def test_capped_at_one(self):
+        assert tail_probability_bound(100, 2, 0, alpha=1.0) == 1.0
+
+    def test_explicit_alpha_never_beats_optimized(self):
+        for alpha in (0.1, 0.5, 1.0, 3.0):
+            assert max_tail_probability_bound(60, 6, 15) <= (
+                max_tail_probability_bound(60, 6, 15, alpha=alpha) + 1e-12
+            )
+
+
+class TestGfBound:
+    def test_upper_bounds_exact_small(self):
+        for n_balls, d in [(8, 4), (12, 4), (20, 5), (30, 3)]:
+            exact = float(exact_classical_expected_max(n_balls, d))
+            assert gf_expected_max_bound(n_balls, d) >= exact
+
+    def test_upper_bounds_monte_carlo_large(self):
+        for k, d in [(5, 50), (10, 100), (50, 20)]:
+            est = expected_max_occupancy(k * d, d, n_trials=400, rng=3)
+            assert gf_expected_max_bound(k * d, d) >= est.mean - 3 * est.std_error
+
+    def test_at_least_mean_load(self):
+        assert gf_expected_max_bound(1000, 10) >= 100.0
+
+    def test_single_bin(self):
+        assert gf_expected_max_bound(17, 1) == 17.0
+
+    def test_becomes_tight_for_heavy_load(self):
+        # With N_b = r D ln D and large r the bound approaches N_b/D
+        # (Theorem 2 case 2: factor 1 + sqrt(2/r) + ...).
+        d = 100
+        for r, rel in [(2, 1.2), (50, 1.25)]:
+            n_balls = int(r * d * math.log(d))
+            bound = gf_expected_max_bound(n_balls, d)
+            assert bound / (n_balls / d) <= 1 + math.sqrt(2 / r) * rel + 0.3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            gf_expected_max_bound(0, 4)
+
+
+class TestAsymptoticExpansions:
+    def test_case1_grows_like_lnd_over_lnlnd(self):
+        # Ratio to ln D / ln ln D tends to 1-ish for huge D.
+        d = 10**9
+        lead = math.log(d) / math.log(math.log(d))
+        assert theorem2_case1_bound(1.0, d) == pytest.approx(lead, rel=0.75)
+
+    def test_case1_increases_with_k(self):
+        assert theorem2_case1_bound(10, 1000) > theorem2_case1_bound(2, 1000)
+
+    def test_case1_rejects_tiny_d(self):
+        with pytest.raises(ConfigError):
+            theorem2_case1_bound(1.0, 2)
+
+    def test_case2_approaches_perfect_balance(self):
+        d = 1000
+        r_small = theorem2_case2_bound(1.0, d) / (1.0 * d * math.log(d) / d)
+        r_large = theorem2_case2_bound(100.0, d) / (100.0 * d * math.log(d) / d)
+        assert r_large < r_small
+        assert r_large == pytest.approx(1.0, abs=0.2)
+
+    def test_case2_upper_bounds_simulation(self):
+        d, r = 50, 4.0
+        n_balls = int(r * d * math.log(d))
+        est = expected_max_occupancy(n_balls, d, n_trials=400, rng=17)
+        # Use the exact r implied by the integer ball count.
+        r_eff = n_balls / (d * math.log(d))
+        assert theorem2_case2_bound(r_eff, d) >= est.mean - 3 * est.std_error
+
+    def test_case2_invalid(self):
+        with pytest.raises(ConfigError):
+            theorem2_case2_bound(0, 10)
+        with pytest.raises(ConfigError):
+            theorem2_case2_bound(1.0, 1)

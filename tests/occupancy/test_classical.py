@@ -1,0 +1,104 @@
+"""Tests for classical maximum occupancy sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.occupancy import (
+    exact_classical_expected_max,
+    expected_max_occupancy,
+    max_occupancy_samples,
+    overhead_v,
+)
+
+
+class TestSampling:
+    def test_shape_and_dtype(self, rng):
+        s = max_occupancy_samples(10, 4, n_trials=50, rng=rng)
+        assert s.shape == (50,)
+        assert s.dtype == np.int64
+
+    def test_bounds(self, rng):
+        s = max_occupancy_samples(12, 4, n_trials=200, rng=rng)
+        # max occupancy is at least ceil(N/D) and at most N.
+        assert s.min() >= 3
+        assert s.max() <= 12
+
+    def test_one_bin_degenerate(self, rng):
+        s = max_occupancy_samples(7, 1, n_trials=10, rng=rng)
+        assert np.all(s == 7)
+
+    def test_one_ball(self, rng):
+        s = max_occupancy_samples(1, 5, n_trials=10, rng=rng)
+        assert np.all(s == 1)
+
+    def test_deterministic_with_seed(self):
+        a = max_occupancy_samples(20, 4, n_trials=30, rng=7)
+        b = max_occupancy_samples(20, 4, n_trials=30, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_chunking_preserves_results(self):
+        a = max_occupancy_samples(20, 4, n_trials=100, rng=7, _chunk_cells=8)
+        b = max_occupancy_samples(20, 4, n_trials=100, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            max_occupancy_samples(0, 4)
+        with pytest.raises(ConfigError):
+            max_occupancy_samples(4, 0)
+        with pytest.raises(ConfigError):
+            max_occupancy_samples(4, 4, n_trials=0)
+
+
+class TestEstimates:
+    def test_matches_exact_small_case(self, rng):
+        # 8 balls, 3 bins: compare Monte-Carlo to the exact EGF value.
+        exact = float(exact_classical_expected_max(8, 3))
+        est = expected_max_occupancy(8, 3, n_trials=6000, rng=rng)
+        assert est.mean == pytest.approx(exact, abs=5 * est.std_error + 1e-9)
+
+    def test_std_error_shrinks(self, rng):
+        small = expected_max_occupancy(20, 5, n_trials=100, rng=rng)
+        large = expected_max_occupancy(20, 5, n_trials=10_000, rng=rng)
+        assert large.std_error < small.std_error
+
+    def test_normalized(self, rng):
+        est = expected_max_occupancy(100, 10, n_trials=100, rng=rng)
+        assert est.normalized == pytest.approx(est.mean / 10.0)
+
+
+class TestOverheadV:
+    """Reproduce spot values of the paper's Table 1."""
+
+    def test_v_at_least_one(self, rng):
+        # Max occupancy >= mean occupancy k, so v >= 1 always.
+        assert overhead_v(5, 5, n_trials=200, rng=rng) >= 1.0
+
+    def test_v_decreases_with_k(self, rng):
+        # Down a Table 1 column: more balls per bin -> better balance.
+        v_small = overhead_v(5, 50, n_trials=200, rng=rng)
+        v_large = overhead_v(100, 50, n_trials=200, rng=rng)
+        assert v_large < v_small
+
+    def test_v_increases_with_d(self, rng):
+        # Across a Table 1 row: more bins -> worse relative imbalance.
+        v_few = overhead_v(10, 5, n_trials=300, rng=rng)
+        v_many = overhead_v(10, 100, n_trials=300, rng=rng)
+        assert v_many > v_few
+
+    @pytest.mark.parametrize(
+        "k,D,expected,tol",
+        [
+            (5, 5, 1.6, 0.15),
+            (5, 50, 2.2, 0.15),
+            (10, 10, 1.5, 0.15),
+            (50, 50, 1.3, 0.1),
+            (100, 100, 1.26, 0.08),
+        ],
+    )
+    def test_table1_spot_values(self, k, D, expected, tol):
+        v = overhead_v(k, D, n_trials=500, rng=12345)
+        assert v == pytest.approx(expected, abs=tol)

@@ -1,0 +1,149 @@
+"""Tests for dependent (chained) maximum occupancy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.occupancy import (
+    FIGURE1_CHAIN_LENGTHS,
+    FIGURE1_N_BINS,
+    canonicalize_chains,
+    dependent_max_occupancy_samples,
+    dependent_occupancy_counts,
+    exact_dependent_expected_max,
+    expected_dependent_max_occupancy,
+    expected_max_occupancy,
+    figure1_classical_instance,
+    figure1_dependent_instance,
+)
+
+
+class TestCanonicalize:
+    def test_lemma9_reduction(self):
+        # Chain of length aD + b -> a to every bin + residual chain b.
+        base, residual = canonicalize_chains([11], n_bins=4)  # 11 = 2*4 + 3
+        assert base == 2
+        assert list(residual) == [3]
+
+    def test_exact_multiple_vanishes(self):
+        base, residual = canonicalize_chains([8], n_bins=4)
+        assert base == 2
+        assert residual.size == 0
+
+    def test_mixed_chains(self):
+        base, residual = canonicalize_chains([1, 4, 5, 9], n_bins=4)
+        assert base == 0 + 1 + 1 + 2
+        assert sorted(residual) == [1, 1, 1]
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigError):
+            canonicalize_chains([0], 4)
+
+
+class TestDeterministicCounts:
+    def test_single_chain_wraps(self):
+        occ = dependent_occupancy_counts([6], [2], n_bins=4)
+        # bins 2,3,0,1,2,3 -> [1,1,2,2]
+        assert list(occ) == [1, 1, 2, 2]
+
+    def test_total_preserved(self):
+        occ = dependent_occupancy_counts([3, 5, 2], [0, 1, 3], n_bins=4)
+        assert occ.sum() == 10
+
+    def test_mismatched_args(self):
+        with pytest.raises(ConfigError):
+            dependent_occupancy_counts([1, 2], [0], 4)
+
+
+class TestSampler:
+    def test_deterministic_with_seed(self):
+        a = dependent_max_occupancy_samples([3, 4, 5], 4, n_trials=50, rng=3)
+        b = dependent_max_occupancy_samples([3, 4, 5], 4, n_trials=50, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_all_full_cycles_is_constant(self):
+        s = dependent_max_occupancy_samples([4, 8], 4, n_trials=20, rng=0)
+        assert np.all(s == 3)
+
+    def test_matches_bruteforce_reference(self):
+        # The vectorized difference-array sampler must agree trial-by-trial
+        # with the O(balls) reference when replaying the same start draws.
+        # Lengths < D so Lemma 9 canonicalization is the identity.
+        lengths = [3, 2, 5, 1, 4]
+        D = 6
+        trials = 40
+        fast = dependent_max_occupancy_samples(lengths, D, n_trials=trials, rng=42)
+        ref_gen = np.random.default_rng(42)
+        starts = ref_gen.integers(0, D, size=(trials, len(lengths)))
+        ref = np.array(
+            [
+                dependent_occupancy_counts(lengths, starts[t], D).max()
+                for t in range(trials)
+            ]
+        )
+        assert np.array_equal(fast, ref)
+
+    def test_matches_exact_expectation(self, rng):
+        lengths = [3, 1, 2, 2]
+        exact = float(exact_dependent_expected_max(lengths, 3))
+        est = expected_dependent_max_occupancy(lengths, 3, n_trials=8000, rng=rng)
+        assert est.mean == pytest.approx(exact, abs=5 * est.std_error + 1e-9)
+
+    @given(
+        lengths=st.lists(st.integers(1, 9), min_size=1, max_size=5),
+        d=st.integers(2, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sample_bounds(self, lengths, d):
+        s = dependent_max_occupancy_samples(lengths, d, n_trials=20, rng=1)
+        total = sum(lengths)
+        assert np.all(s >= -(-total // d))  # >= ceil(total/d)
+        assert np.all(s <= total)
+
+    def test_chunking_preserves_results(self):
+        a = dependent_max_occupancy_samples([3, 5, 2], 4, n_trials=64, rng=9, _chunk_cells=16)
+        b = dependent_max_occupancy_samples([3, 5, 2], 4, n_trials=64, rng=9)
+        assert np.array_equal(a, b)
+
+
+class TestConjecture:
+    """The paper conjectures dependent <= classical expected max (§7.2)."""
+
+    @pytest.mark.parametrize(
+        "lengths,d",
+        [
+            ([3, 3, 3, 3], 4),
+            ([5, 1, 1, 1, 1, 1, 1, 1], 4),
+            ([2] * 10, 5),
+            ([7, 6, 5, 4], 6),
+        ],
+    )
+    def test_dependent_below_classical(self, lengths, d):
+        n_balls = sum(lengths)
+        dep = expected_dependent_max_occupancy(lengths, d, n_trials=4000, rng=11)
+        cla = expected_max_occupancy(n_balls, d, n_trials=4000, rng=13)
+        slack = 3 * (dep.std_error + cla.std_error)
+        assert dep.mean <= cla.mean + slack
+
+
+class TestFigure1:
+    def test_dependent_panel(self):
+        occ = figure1_dependent_instance()
+        assert occ.sum() == 12
+        assert occ.max() == 4
+        assert int(np.argmax(occ)) == 1  # "realized in the second bin"
+
+    def test_classical_panel(self):
+        occ = figure1_classical_instance()
+        assert occ.sum() == 12
+        assert occ.max() == 5
+        assert int(np.argmax(occ)) == 1
+
+    def test_instance_parameters(self):
+        assert sum(FIGURE1_CHAIN_LENGTHS) == 12
+        assert len(FIGURE1_CHAIN_LENGTHS) == 5
+        assert FIGURE1_N_BINS == 4

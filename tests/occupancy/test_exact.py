@@ -1,0 +1,107 @@
+"""Tests for exact occupancy distributions."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.occupancy import (
+    classical_max_cdf,
+    classical_max_pmf,
+    dependent_max_pmf,
+    exact_classical_expected_max,
+    exact_dependent_expected_max,
+)
+
+
+class TestClassicalExact:
+    def test_two_balls_two_bins(self):
+        # max = 1 iff the balls split (prob 1/2); else max = 2.
+        pmf = classical_max_pmf(2, 2)
+        assert pmf == {1: Fraction(1, 2), 2: Fraction(1, 2)}
+
+    def test_cdf_monotone_and_normalized(self):
+        vals = [classical_max_cdf(10, 3, m) for m in range(11)]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+        assert vals[-1] == 1
+        # max occupancy >= ceil(10/3) = 4, so P(max <= 3) = 0.
+        assert vals[3] == 0
+
+    def test_cdf_edge_cases(self):
+        assert classical_max_cdf(5, 2, -1) == 0
+        assert classical_max_cdf(5, 2, 5) == 1
+        assert classical_max_cdf(5, 2, 99) == 1
+
+    def test_expectation_three_balls_three_bins(self):
+        # By hand: 27 placements; max=1 in 3! = 6 of them; max=3 in 3;
+        # max=2 in 18.  E = (6*1 + 18*2 + 3*3)/27 = 51/27 = 17/9.
+        assert exact_classical_expected_max(3, 3) == Fraction(17, 9)
+
+    def test_one_bin(self):
+        assert exact_classical_expected_max(6, 1) == 6
+
+    def test_pmf_sums_to_one(self):
+        pmf = classical_max_pmf(12, 4)
+        assert sum(pmf.values()) == 1
+
+    def test_too_large_refused(self):
+        with pytest.raises(ConfigError):
+            classical_max_cdf(500, 4, 3)
+
+
+class TestDependentExact:
+    def test_single_chain_shorter_than_d(self):
+        # One chain of length 2 in 3 bins: max is always 1.
+        pmf = dependent_max_pmf([2], 3)
+        assert pmf == {1: Fraction(1)}
+
+    def test_single_chain_wrapping(self):
+        # One chain of length 4 in 3 bins: 1 full cycle + residual 1.
+        pmf = dependent_max_pmf([4], 3)
+        assert pmf == {2: Fraction(1)}
+
+    def test_two_unit_chains_match_classical(self):
+        # Unit chains ARE classical balls (the special case noted in §7.1).
+        dep = dependent_max_pmf([1, 1], 2)
+        cla = classical_max_pmf(2, 2)
+        assert dep == cla
+
+    @pytest.mark.parametrize("n_balls,d", [(3, 2), (4, 3), (5, 2)])
+    def test_unit_chains_match_classical_general(self, n_balls, d):
+        assert dependent_max_pmf([1] * n_balls, d) == classical_max_pmf(n_balls, d)
+
+    def test_lemma9_exact_distribution_equality(self):
+        # A chain of length D + b has the same occupancy distribution as
+        # one length-D chain plus one length-b chain (Lemma 9's proof).
+        d = 3
+        lhs = dependent_max_pmf([5, 2], d)       # 5 = 1*3 + 2
+        rhs = dependent_max_pmf([3, 2, 2], d)
+        assert lhs == rhs
+
+    def test_lemma9_multiple_wraps(self):
+        d = 2
+        lhs = dependent_max_pmf([7], d)          # 7 = 3*2 + 1
+        rhs = dependent_max_pmf([2, 2, 2, 1], d)
+        assert lhs == rhs
+
+    def test_expectation_monotone_in_load(self):
+        a = exact_dependent_expected_max([2, 2], 3)
+        b = exact_dependent_expected_max([2, 2, 2], 3)
+        assert b > a
+
+    def test_dependent_at_most_classical_exact(self):
+        # Exact verification of the paper's §7.2 conjecture on a small case.
+        lengths = [2, 2, 2]
+        dep = exact_dependent_expected_max(lengths, 3)
+        cla = exact_classical_expected_max(6, 3)
+        assert dep <= cla
+
+    def test_refuses_huge_enumeration(self):
+        with pytest.raises(ConfigError):
+            dependent_max_pmf([1] * 30, 10)
+
+    def test_invalid_chain(self):
+        with pytest.raises(ConfigError):
+            dependent_max_pmf([0], 3)

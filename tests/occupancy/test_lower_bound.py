@@ -1,0 +1,54 @@
+"""Tests for the Bonferroni lower bound on classical max occupancy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.occupancy import (
+    classical_expected_max_lower_bound,
+    exact_classical_expected_max,
+    expected_max_occupancy,
+    gf_expected_max_bound,
+)
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("n_balls,d", [(8, 4), (12, 4), (20, 5), (30, 3), (50, 10)])
+    def test_below_exact(self, n_balls, d):
+        exact = float(exact_classical_expected_max(n_balls, d))
+        assert classical_expected_max_lower_bound(n_balls, d) <= exact + 1e-9
+
+    @pytest.mark.parametrize("n_balls,d", [(12, 4), (30, 5)])
+    def test_sandwich_with_upper_bound(self, n_balls, d):
+        lo = classical_expected_max_lower_bound(n_balls, d)
+        hi = gf_expected_max_bound(n_balls, d)
+        exact = float(exact_classical_expected_max(n_balls, d))
+        assert lo <= exact <= hi
+
+    def test_below_monte_carlo_at_scale(self):
+        # Beyond exact-computation range, check against sampling.
+        for k, d in [(5, 50), (20, 20)]:
+            est = expected_max_occupancy(k * d, d, n_trials=2000, rng=9)
+            lo = classical_expected_max_lower_bound(k * d, d)
+            assert lo <= est.mean + 3 * est.std_error
+
+    def test_not_vacuous(self):
+        # Strictly above the mean load where imbalance is substantial.
+        lo = classical_expected_max_lower_bound(50, 10)
+        assert lo > 5.0 + 0.5
+
+    def test_reasonably_tight_small(self):
+        exact = float(exact_classical_expected_max(20, 5))
+        lo = classical_expected_max_lower_bound(20, 5)
+        assert lo >= 0.6 * exact
+
+    def test_single_bin(self):
+        assert classical_expected_max_lower_bound(9, 1) == 9.0
+
+    def test_at_least_mean_load(self):
+        assert classical_expected_max_lower_bound(1000, 4) >= 250.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            classical_expected_max_lower_bound(0, 4)

@@ -1,0 +1,120 @@
+"""Tests for the PGF machinery (paper equation (6) and (3)-(5))."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.occupancy import (
+    classical_one_bin_pmf,
+    dependent_max_occupancy_samples,
+    exact_classical_expected_max,
+    exact_dependent_expected_max,
+    expected_max_upper_bound,
+    gf_expected_max_bound,
+    max_occupancy_tail_bound,
+    one_bin_pmf,
+    one_bin_tail,
+    tail_probability_bound,
+)
+
+
+class TestOneBinPmf:
+    def test_single_chain(self):
+        base, pmf = one_bin_pmf([3], n_bins=4)
+        assert base == 0
+        assert pmf == pytest.approx([0.25, 0.75])
+
+    def test_independent_chains_convolve(self):
+        _, pmf = one_bin_pmf([2, 2], n_bins=4)
+        # Each chain hits the bin w.p. 1/2 independently.
+        assert pmf == pytest.approx([0.25, 0.5, 0.25])
+
+    def test_full_cycles_become_base(self):
+        base, pmf = one_bin_pmf([8, 3], n_bins=4)
+        assert base == 2
+        assert pmf == pytest.approx([0.25, 0.75])
+
+    def test_pmf_normalized(self):
+        _, pmf = one_bin_pmf([1, 2, 3, 5, 7], n_bins=4)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_classical_is_binomial(self):
+        from math import comb
+
+        pmf = classical_one_bin_pmf(6, 3)
+        expect = [comb(6, t) * (1 / 3) ** t * (2 / 3) ** (6 - t) for t in range(7)]
+        assert pmf == pytest.approx(expect)
+
+    def test_matches_empirical_one_bin(self):
+        # Cross-check against Monte-Carlo occupancy of bin 0.
+        rng = np.random.default_rng(0)
+        lengths = [3, 2, 5, 1]
+        D, trials = 6, 40_000
+        starts = rng.integers(0, D, size=(trials, len(lengths)))
+        occ0 = np.zeros(trials, dtype=np.int64)
+        for j, l in enumerate(lengths):
+            covered = ((0 - starts[:, j]) % D) < l
+            occ0 += covered
+        base, pmf = one_bin_pmf(lengths, D)
+        emp = np.bincount(occ0, minlength=pmf.size) / trials
+        assert emp[: pmf.size] == pytest.approx(pmf, abs=0.01)
+
+
+class TestTails:
+    def test_exact_tail_values(self):
+        # One chain of 2 in 4 bins: P(X > 0) = 1/2.
+        assert one_bin_tail([2], 4, 0) == pytest.approx(0.5)
+        assert one_bin_tail([2], 4, 1) == 0.0
+
+    def test_below_base_is_certain(self):
+        assert one_bin_tail([8], 4, 1) == 1.0  # base = 2 > m = 1
+
+    def test_saddle_point_bound_dominates_exact(self):
+        # The paper's inequality (13)/(18) must sit above the exact tail
+        # for the classical (unit-chain) case it bounds.
+        n_balls, d = 40, 5
+        for m in range(8, 25, 4):
+            exact = one_bin_tail([1] * n_balls, d, m)
+            for alpha in (0.5, 1.0, 2.0):
+                assert tail_probability_bound(n_balls, d, m, alpha) >= exact - 1e-12
+
+    def test_union_bound_dominates_sampling(self):
+        lengths = [4, 3, 2, 2, 1]
+        d = 4
+        samples = dependent_max_occupancy_samples(lengths, d, n_trials=20_000, rng=1)
+        for m in (3, 4, 5):
+            emp = float((samples > m).mean())
+            assert max_occupancy_tail_bound(lengths, d, m) >= emp - 0.01
+
+
+class TestExpectedMaxBound:
+    def test_dominates_exact_dependent(self):
+        for lengths, d in [([2, 2, 2], 3), ([4, 3, 2, 2, 1], 4), ([1] * 8, 4)]:
+            exact = float(exact_dependent_expected_max(lengths, d))
+            assert expected_max_upper_bound(lengths, d) >= exact - 1e-9
+
+    def test_dominates_exact_classical(self):
+        exact = float(exact_classical_expected_max(12, 4))
+        assert expected_max_upper_bound([1] * 12, 4) >= exact - 1e-9
+
+    def test_tighter_than_saddle_point_bound(self):
+        # Exact tails beat the (13)-based closed form everywhere we look.
+        for k, d in [(5, 10), (10, 20), (20, 8)]:
+            lengths = [1] * (k * d)
+            assert expected_max_upper_bound(lengths, d) <= gf_expected_max_bound(
+                k * d, d
+            ) + 1e-9
+
+    def test_degenerate_full_cycles(self):
+        # All chains multiples of D: occupancy is deterministic.
+        assert expected_max_upper_bound([4, 8], 4) == pytest.approx(3.0)
+
+    def test_reasonably_tight(self):
+        # Within ~35% of the exact value on a mid-size instance.
+        lengths = [1] * 30
+        exact = float(exact_classical_expected_max(30, 5))
+        bound = expected_max_upper_bound(lengths, 5)
+        assert bound <= 1.35 * exact

@@ -1,0 +1,78 @@
+"""Tests for the one-shot reproduction runner."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_all_experiments
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("repro_out")
+    # Small-scale knobs: the point is the plumbing, not precision.
+    rep = run_all_experiments(
+        out_dir=out,
+        rng=7,
+        occupancy_trials=60,
+        blocks_per_run=20,
+        block_size=4,
+    )
+    return rep, out
+
+
+class TestRunAll:
+    def test_all_five_experiments(self, report):
+        rep, _ = report
+        assert [o.name for o in rep.outcomes] == [
+            "table1", "table2", "table3", "table4", "figure1",
+        ]
+
+    def test_reports_written(self, report):
+        _, out = report
+        for name in ("table1", "table2", "table3", "table4", "figure1", "summary"):
+            path = Path(out) / f"{name}.txt"
+            assert path.exists()
+            assert path.read_text().strip()
+
+    def test_deviations_recorded(self, report):
+        rep, _ = report
+        grids = [o for o in rep.outcomes if o.name.startswith("table")]
+        assert all(o.max_deviation is not None for o in grids)
+        # Even at toy scale the formula-side tables track closely.
+        table2 = next(o for o in rep.outcomes if o.name == "table2")
+        assert table2.max_deviation < 0.1
+
+    def test_figure1_has_no_deviation_metric(self, report):
+        rep, _ = report
+        fig = next(o for o in rep.outcomes if o.name == "figure1")
+        assert fig.max_deviation is None
+        assert "holds" in fig.report
+
+    def test_summary(self, report):
+        rep, _ = report
+        text = rep.summary()
+        assert "table3" in text and "figure1" in text
+        assert rep.worst_deviation >= 0
+
+    def test_no_output_dir_is_fine(self):
+        rep = run_all_experiments(
+            rng=3, occupancy_trials=30, blocks_per_run=10, block_size=4
+        )
+        assert len(rep.outcomes) == 5
+
+
+class TestCLI:
+    def test_reproduce_all_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        rc = main([
+            "reproduce-all", "--trials", "30", "--blocks-per-run", "10",
+            "--out", str(tmp_path / "r"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Paper reproduction summary" in out
+        assert (tmp_path / "r" / "summary.txt").exists()

@@ -1,0 +1,55 @@
+"""Export integrity: the documented public surface must actually exist."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.disks",
+    "repro.baselines",
+    "repro.occupancy",
+    "repro.analysis",
+    "repro.workloads",
+    "repro.verify",
+    "repro.memory",
+]
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_names_resolve(pkg):
+    mod = importlib.import_module(pkg)
+    assert hasattr(mod, "__all__"), f"{pkg} lacks __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{pkg}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_names_unique(pkg):
+    mod = importlib.import_module(pkg)
+    assert len(mod.__all__) == len(set(mod.__all__))
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_every_public_callable_has_a_docstring():
+    for pkg in PACKAGES:
+        mod = importlib.import_module(pkg)
+        for name in mod.__all__:
+            obj = getattr(mod, name)
+            if callable(obj) and not isinstance(obj, type(int)):
+                assert obj.__doc__, f"{pkg}.{name} lacks a docstring"
+
+
+def test_py_typed_marker_ships():
+    import repro
+    from pathlib import Path
+
+    assert (Path(repro.__file__).parent / "py.typed").exists()

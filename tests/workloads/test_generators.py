@@ -1,0 +1,190 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    duplicate_heavy,
+    interleaved_runs,
+    nearly_sorted,
+    random_partition_job,
+    random_partition_runs,
+    reverse_sorted,
+    sequential_runs,
+    uniform_keys,
+    uniform_permutation,
+)
+
+
+class TestBasicGenerators:
+    def test_uniform_permutation(self):
+        keys = uniform_permutation(100, rng=0)
+        assert np.array_equal(np.sort(keys), np.arange(100))
+
+    def test_uniform_keys_range(self):
+        keys = uniform_keys(1000, 10, 20, rng=0)
+        assert keys.min() >= 10 and keys.max() < 20
+
+    def test_uniform_keys_empty_range(self):
+        with pytest.raises(ConfigError):
+            uniform_keys(10, 5, 5)
+
+    def test_duplicate_heavy(self):
+        keys = duplicate_heavy(1000, 3, rng=0)
+        assert len(np.unique(keys)) <= 3
+
+    def test_nearly_sorted_is_nearly_sorted(self):
+        keys = nearly_sorted(1000, 0.05, rng=0)
+        inversions = int((keys[:-1] > keys[1:]).sum())
+        assert 0 < inversions <= 60
+        assert np.array_equal(np.sort(keys), np.arange(1000))
+
+    def test_nearly_sorted_zero_swaps(self):
+        assert np.array_equal(nearly_sorted(50, 0.0), np.arange(50))
+
+    def test_nearly_sorted_validation(self):
+        with pytest.raises(ConfigError):
+            nearly_sorted(10, 1.5)
+
+    def test_reverse_sorted(self):
+        keys = reverse_sorted(5)
+        assert list(keys) == [4, 3, 2, 1, 0]
+
+
+class TestRunShapes:
+    def test_interleaved_lockstep(self):
+        runs = interleaved_runs(3, 4)
+        assert list(runs[0]) == [0, 3, 6, 9]
+        assert list(runs[2]) == [2, 5, 8, 11]
+
+    def test_sequential_disjoint(self):
+        runs = sequential_runs(3, 4)
+        assert list(runs[1]) == [4, 5, 6, 7]
+
+    def test_both_cover_range(self):
+        for gen in (interleaved_runs, sequential_runs):
+            runs = gen(4, 5)
+            allk = np.sort(np.concatenate(runs))
+            assert np.array_equal(allk, np.arange(20))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            interleaved_runs(0, 4)
+        with pytest.raises(ConfigError):
+            sequential_runs(2, 0)
+
+
+class TestDomainShapes:
+    def test_zipf_head_heavy(self):
+        from repro.workloads import zipf_keys
+
+        keys = zipf_keys(10_000, alpha=1.5, rng=0)
+        counts = np.bincount(keys)
+        # The most common key dwarfs the median frequency.
+        assert counts.max() > 20 * np.median(counts[counts > 0])
+
+    def test_zipf_clipped(self):
+        from repro.workloads import zipf_keys
+
+        keys = zipf_keys(5000, alpha=1.2, n_distinct=50, rng=1)
+        assert keys.max() <= 50
+        assert keys.min() >= 1
+
+    def test_zipf_validation(self):
+        from repro.workloads import zipf_keys
+
+        with pytest.raises(ConfigError):
+            zipf_keys(10, alpha=1.0)
+        with pytest.raises(ConfigError):
+            zipf_keys(10, n_distinct=0)
+
+    def test_zipf_sortable(self):
+        from repro.core import SRMConfig, srm_sort
+        from repro.workloads import zipf_keys
+
+        keys = zipf_keys(3000, rng=2)
+        out, _ = srm_sort(keys, SRMConfig.from_k(2, 4, 8), rng=3, run_length=128)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_block_sorted_chunks_ascending(self):
+        from repro.workloads import block_sorted
+
+        keys = block_sorted(100, chunk=10, rng=0)
+        for s in range(0, 100, 10):
+            chunk = keys[s : s + 10]
+            assert np.all(chunk[:-1] <= chunk[1:])
+        assert np.array_equal(np.sort(keys), np.arange(100))
+
+    def test_block_sorted_validation(self):
+        from repro.workloads import block_sorted
+
+        with pytest.raises(ConfigError):
+            block_sorted(10, chunk=0)
+
+    def test_geometric_runs_cover_range(self):
+        from repro.workloads import geometric_length_runs
+
+        runs = geometric_length_runs(10, mean_length=20, rng=0)
+        total = sum(len(r) for r in runs)
+        allk = np.sort(np.concatenate(runs))
+        assert np.array_equal(allk, np.arange(total))
+        assert all(np.all(r[:-1] <= r[1:]) for r in runs)
+
+    def test_geometric_runs_vary_in_length(self):
+        from repro.workloads import geometric_length_runs
+
+        runs = geometric_length_runs(30, mean_length=20, rng=1)
+        lengths = [len(r) for r in runs]
+        assert max(lengths) > 2 * min(lengths)
+
+    def test_geometric_runs_mergeable(self):
+        from repro.core import MergeJob, simulate_merge
+        from repro.workloads import geometric_length_runs
+
+        runs = geometric_length_runs(6, mean_length=30, rng=2)
+        job = MergeJob.from_key_runs(runs, 4, 3, rng=3)
+        stats = simulate_merge(job, validate=True)
+        assert stats.n_blocks == sum(-(-len(r) // 4) for r in runs)
+
+    def test_geometric_validation(self):
+        from repro.workloads import geometric_length_runs
+
+        with pytest.raises(ConfigError):
+            geometric_length_runs(0, 10)
+
+
+class TestPartitions:
+    def test_partition_covers_everything(self):
+        runs = random_partition_runs(5, 20, rng=0)
+        allk = np.sort(np.concatenate(runs))
+        assert np.array_equal(allk, np.arange(100))
+
+    def test_runs_sorted_and_sized(self):
+        runs = random_partition_runs(4, 10, rng=1)
+        assert all(len(r) == 10 for r in runs)
+        assert all(np.all(r[:-1] <= r[1:]) for r in runs)
+
+    def test_deterministic(self):
+        a = random_partition_runs(3, 7, rng=5)
+        b = random_partition_runs(3, 7, rng=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            random_partition_runs(0, 5)
+
+    def test_partition_job_shape(self):
+        job = random_partition_job(k=2, n_disks=3, blocks_per_run=4, block_size=5, rng=0)
+        assert job.n_runs == 6
+        assert job.n_blocks == 24
+        assert job.n_disks == 3
+
+    def test_partition_job_simulable(self):
+        from repro.core import simulate_merge
+
+        job = random_partition_job(k=2, n_disks=2, blocks_per_run=5, block_size=3, rng=1)
+        stats = simulate_merge(job, validate=True)
+        assert stats.n_blocks == 20
