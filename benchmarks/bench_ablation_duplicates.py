@@ -40,18 +40,29 @@ def test_duplicate_distributions(benchmark, report):
             out, res = srm_sort(keys, cfg, rng=44, run_length=512)
             assert np.array_equal(out, np.sort(keys))
             vs = [s.overhead_v for s in res.merge_schedules]
+            merged = sum(s.n_blocks for s in res.merge_schedules)
+            cyc_per_blk = res.heap_cycles / merged if merged else 0.0
             rows.append((name, res.io.parallel_reads, res.io.parallel_writes,
-                         float(np.mean(vs)) if vs else 1.0))
+                         float(np.mean(vs)) if vs else 1.0, cyc_per_blk))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = [f"N = {n}, D = {D}, B = {B}, R = {cfg.merge_order}",
-             f"{'input':<20} {'reads':>8} {'writes':>8} {'mean v':>8}"]
-    for name, reads, writes, v in rows:
-        lines.append(f"{name:<20} {reads:>8} {writes:>8} {v:>8.3f}")
+             f"{'input':<20} {'reads':>8} {'writes':>8} {'mean v':>8} "
+             f"{'cyc/blk':>8}"]
+    for name, reads, writes, v, cyc in rows:
+        lines.append(f"{name:<20} {reads:>8} {writes:>8} {v:>8.3f} {cyc:>8.2f}")
     report("ablation_duplicates", "\n".join(lines))
 
-    vs = {name: v for name, _, _, v in rows}
+    vs = {name: v for name, _, _, v, _ in rows}
     # Distribution-free in practice too: every shape stays near v = 1.
     for name, v in vs.items():
         assert v < 1.25, f"{name}: v = {v}"
+
+    # The duplicate slow path must stay block-granular: one heap cycle
+    # consumes (at least a big chunk of) one block even when every key
+    # collides.  The old record-at-a-time fallback needed ~B cycles per
+    # block (B = 8 here) on the all-equal input.
+    cycles = {name: cyc for name, _, _, _, cyc in rows}
+    assert cycles["1 distinct value"] <= 2.0, cycles
+    assert cycles["16 distinct values"] <= 2.0, cycles

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.events import OverlapReport
 from ..core.schedule import ScheduleStats
 from ..disks.timing import DiskTimingModel
 from ..errors import ConfigError
@@ -94,4 +95,47 @@ def merge_makespan(
         pipelined += max(interval_io, gap * cpu_block_ms)
     return MakespanEstimate(
         serial_ms=serial, pipelined_ms=pipelined, io_ms=io_ms, cpu_ms=cpu_ms
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapGap:
+    """Predicted-vs-executed overlap comparison for one merge.
+
+    The analytical model (:func:`merge_makespan`) predicts a pipelined
+    makespan from the schedule's depletion gaps; the discrete-event
+    engine (:class:`~repro.core.events.OverlapEngine`) *executes* the
+    overlap on per-disk queues.  The gap between the two is the model
+    error this module previously could only guess at.
+    """
+
+    predicted_serial_ms: float
+    predicted_pipelined_ms: float
+    executed_ms: float
+
+    @property
+    def gap_ratio(self) -> float:
+        """Executed over predicted-pipelined time (1.0 = model exact)."""
+        if self.predicted_pipelined_ms == 0.0:
+            return 1.0
+        return self.executed_ms / self.predicted_pipelined_ms
+
+    @property
+    def executed_speedup(self) -> float:
+        """Serial model time over executed time — the realized overlap win."""
+        return (
+            self.predicted_serial_ms / self.executed_ms
+            if self.executed_ms
+            else 1.0
+        )
+
+
+def overlap_gap(
+    estimate: MakespanEstimate, report: OverlapReport
+) -> OverlapGap:
+    """Compare an analytical estimate with an engine-measured execution."""
+    return OverlapGap(
+        predicted_serial_ms=estimate.serial_ms,
+        predicted_pipelined_ms=estimate.pipelined_ms,
+        executed_ms=report.makespan_ms,
     )

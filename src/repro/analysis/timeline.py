@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.events import OverlapEngine, OverlapReport
 from ..core.job import MergeJob
 from ..core.schedule import MergeScheduler
 from ..core.simulator import _DEPLETE, build_event_stream
@@ -142,3 +143,59 @@ def simulate_merge_timeline(
         total_writes=writes,
         prefetch=prefetch,
     )
+
+
+def execute_merge_timeline(
+    job: MergeJob,
+    timing: DiskTimingModel,
+    block_size: int,
+    cpu_us_per_record: float,
+    mode: str = "full",
+    prefetch_depth: int = 2,
+) -> OverlapReport:
+    """Execute one merge through the per-disk overlap engine.
+
+    Where :func:`simulate_merge_timeline` models a single synchronized
+    I/O channel, this drives the same block-level event stream through
+    the :class:`~repro.core.events.OverlapEngine`: independent per-disk
+    FIFO queues, a ``prefetch_depth``-deep read-ahead window, and (in
+    ``mode="full"``) write-behind of output stripes.  The returned
+    :class:`~repro.core.events.OverlapReport` is directly comparable to
+    the one a data-moving :func:`~repro.core.merge.merge_runs` produces,
+    so the predicted-vs-executed overlap gap is a measured quantity.
+
+    Output-stripe writes are synthesized (one full-``D`` stripe per
+    ``D`` depletions, matching SRM's perfect write parallelism), since a
+    job carries block boundaries, not output addresses.
+    """
+    if block_size < 1:
+        raise ConfigError(f"block size must be >= 1, got {block_size}")
+    D = job.n_disks
+    eng = OverlapEngine(
+        timing,
+        block_size,
+        D,
+        cpu_us_per_record,
+        mode=mode,
+        prefetch_depth=prefetch_depth,
+    )
+    sched = MergeScheduler(job, on_read=eng.on_parread, on_flush=eng.on_flush)
+    sched.initial_load()
+
+    depletions = 0
+    _, kinds, runs, blocks = build_event_stream(job)
+    for kind, r, b in zip(kinds.tolist(), runs.tolist(), blocks.tolist()):
+        if kind == _DEPLETE:
+            eng.wait_for(r, b)
+            eng.compute(block_size)
+            sched.on_leading_depleted(r)
+            depletions += 1
+            if depletions % D == 0:
+                eng.on_write(list(range(D)))
+        else:
+            sched.ensure_resident(r, b)
+            eng.wait_for(r, b)
+        eng.pump(sched)
+    if depletions % D:
+        eng.on_write(list(range(depletions % D)))
+    return eng.finish()

@@ -33,7 +33,14 @@ from .analysis import (
     table3,
     table4,
 )
-from .core import DSMConfig, LayoutStrategy, SRMConfig, srm_sort
+from .core import (
+    OVERLAP_MODES,
+    DSMConfig,
+    LayoutStrategy,
+    OverlapConfig,
+    SRMConfig,
+    srm_sort,
+)
 from .baselines import dsm_sort
 from .workloads import uniform_permutation
 
@@ -92,6 +99,13 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 def _cmd_sort(args: argparse.Namespace) -> int:
     keys = uniform_permutation(args.n, rng=args.seed)
+    overlap = None
+    if args.overlap is not None:
+        overlap = OverlapConfig(
+            mode=args.overlap,
+            prefetch_depth=args.prefetch_depth,
+            cpu_us_per_record=args.cpu_us,
+        )
     t0 = time.perf_counter()
     if args.dsm:
         cfg = DSMConfig.matching_srm(
@@ -101,7 +115,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         name = "DSM"
     else:
         cfg = SRMConfig.from_k(args.k, args.disks, args.block)
-        out, res = srm_sort(keys, cfg, rng=args.seed)
+        out, res = srm_sort(keys, cfg, rng=args.seed, overlap=overlap)
         name = "SRM"
     dt = time.perf_counter() - t0
     ok = bool(np.array_equal(out, np.sort(keys)))
@@ -112,6 +126,15 @@ def _cmd_sort(args: argparse.Namespace) -> int:
           f"(reads {res.io.parallel_reads}, writes {res.io.parallel_writes})")
     print(f"  read efficiency: {res.io.read_efficiency:.3f}, "
           f"write efficiency: {res.io.write_efficiency:.3f}")
+    if overlap is not None and not args.dsm and res.overlap_reports:
+        stall = sum(r.cpu_stall_ms for r in res.overlap_reports)
+        eager = sum(r.eager_reads for r in res.overlap_reports)
+        demand = sum(r.demand_reads for r in res.overlap_reports)
+        util = float(np.mean([r.disk_utilization for r in res.overlap_reports]))
+        print(f"  overlap engine ({overlap.mode}, depth {overlap.prefetch_depth}): "
+              f"simulated merge wall-clock {res.simulated_merge_ms:.0f} ms")
+        print(f"    cpu stall {stall:.0f} ms, eager reads {eager}, "
+              f"demand reads {demand}, mean disk utilization {util:.2f}")
     return 0 if ok else 1
 
 
@@ -230,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--k", type=int, default=4)
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--dsm", action="store_true", help="use the DSM baseline")
+    s.add_argument("--overlap", choices=list(OVERLAP_MODES), default=None,
+                   help="drive merges through the discrete-event overlap "
+                   "engine and report simulated wall-clock")
+    s.add_argument("--prefetch-depth", type=int, default=2,
+                   help="read-ahead window in eager ParReads (with --overlap)")
+    s.add_argument("--cpu-us", type=float, default=1.0,
+                   help="merge CPU cost per record in microseconds "
+                   "(with --overlap)")
     s.set_defaults(func=_cmd_sort)
 
     r = sub.add_parser("records", help="stable key+payload record sort demo")

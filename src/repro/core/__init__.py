@@ -6,7 +6,14 @@ block-level simulator, run formation, the full mergesort driver, and
 the §6 phase accounting.
 """
 
-from .config import DSMConfig, SRMConfig, memory_records_for_k
+from .config import (
+    OVERLAP_MODES,
+    DSMConfig,
+    OverlapConfig,
+    SRMConfig,
+    memory_records_for_k,
+)
+from .events import OverlapEngine, OverlapReport
 from .forecasting import INF, ForecastStructure
 from .job import MergeJob
 from .layout import LayoutStrategy, choose_start_disks
@@ -34,6 +41,10 @@ from .writer import RunWriter
 __all__ = [
     "DSMConfig",
     "SRMConfig",
+    "OVERLAP_MODES",
+    "OverlapConfig",
+    "OverlapEngine",
+    "OverlapReport",
     "memory_records_for_k",
     "INF",
     "ForecastStructure",

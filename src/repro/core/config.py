@@ -27,6 +27,51 @@ def memory_records_for_k(k: int, n_disks: int, block_size: int) -> int:
     return (2 * k + 4) * n_disks * block_size + k * n_disks * n_disks
 
 
+#: Overlap disciplines of the discrete-event engine
+#: (:class:`repro.core.events.OverlapEngine`): demand-paced, read-ahead
+#: only, or read-ahead plus write-behind.
+OVERLAP_MODES = ("none", "prefetch", "full")
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapConfig:
+    """Configuration of the overlapped-I/O execution engine.
+
+    Attributes
+    ----------
+    mode:
+        ``"none"`` — demand-paced (every read and write stalls the
+        merge); ``"prefetch"`` — eager case-2a reads fill a read-ahead
+        window; ``"full"`` — read-ahead plus write-behind (one output
+        stripe in flight, the ``M_W = 2D`` discipline).
+    prefetch_depth:
+        Read-ahead window in eager ``ParRead`` operations (each brings
+        in up to ``D`` blocks).  0 disables read-ahead even in
+        ``prefetch``/``full`` mode.
+    cpu_us_per_record:
+        Internal merge processing cost per record, in microseconds,
+        charged against the simulated clock.
+    """
+
+    mode: str = "full"
+    prefetch_depth: int = 2
+    cpu_us_per_record: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in OVERLAP_MODES:
+            raise ConfigError(
+                f"overlap mode must be one of {OVERLAP_MODES}, got {self.mode!r}"
+            )
+        if self.prefetch_depth < 0:
+            raise ConfigError(
+                f"prefetch depth must be >= 0, got {self.prefetch_depth}"
+            )
+        if self.cpu_us_per_record < 0:
+            raise ConfigError(
+                f"cpu cost must be >= 0, got {self.cpu_us_per_record}"
+            )
+
+
 @dataclass(frozen=True, slots=True)
 class SRMConfig:
     """Parameters of an SRM mergesort instance.

@@ -1,0 +1,252 @@
+"""Discrete-event overlapped-I/O engine for the SRM merge.
+
+The demand-paced merge stalls on every ``ParRead``: I/O and computation
+strictly alternate, so the paper's "SRM overlaps I/O operations and
+internal computation" claim (post-Lemma-1) could previously only be
+*estimated* after the fact (:mod:`repro.analysis.overlap`).  This engine
+*executes* the overlap on a shared simulated clock:
+
+* every disk is an independent FIFO server
+  (:class:`~repro.disks.service.ServiceNetwork`) costed by the
+  :class:`~repro.disks.timing.DiskTimingModel`;
+* the chunked internal merge advances the clock by a per-record CPU
+  cost and blocks only when a needed block has not yet *arrived*;
+* a **read-ahead window** of ``prefetch_depth`` eager ``ParRead``\\ s
+  (issued through :meth:`MergeScheduler.maybe_prefetch`, so every eager
+  read is a legal §5.5 case-2a operation) keeps the disks busy ahead of
+  demand;
+* **write-behind** lets the :class:`~repro.core.writer.RunWriter` hand a
+  full output stripe to the disks and keep merging; ``M_W = 2D`` admits
+  exactly one stripe in flight while the next one fills.
+
+The engine never changes *what* the scheduler reads, flushes, or writes
+— only *when* the simulated clock says those operations complete — so
+``overlap="none"`` reproduces the demand-paced schedule's
+:class:`~repro.core.schedule.ScheduleStats` exactly, and every mode
+produces byte-identical sorted output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..disks.service import ServiceNetwork
+from ..disks.timing import DiskTimingModel
+from ..errors import ConfigError
+from .config import OVERLAP_MODES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .schedule import MergeScheduler
+
+#: A read instruction as the scheduler reports it: (run, block, disk).
+ReadOp = tuple[int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapReport:
+    """Simulated-time outcome of one engine-driven merge.
+
+    Attributes
+    ----------
+    mode / prefetch_depth:
+        The overlap discipline the engine ran under.
+    makespan_ms:
+        Wall-clock of the merge: CPU finish or last disk going idle,
+        whichever is later.
+    cpu_busy_ms:
+        Time spent merging records.
+    read_stall_ms / write_stall_ms:
+        Time the CPU waited for a block to arrive / for an output-stripe
+        frame to free up.
+    io_busy_ms:
+        Summed per-disk service time (reads + writes).
+    disk_utilization:
+        ``io_busy_ms / (D * makespan_ms)`` — mean busy fraction per disk.
+    demand_reads / eager_reads:
+        ``ParRead`` operations issued on a stall vs. ahead of demand.
+    writes:
+        Parallel write operations (output stripes).
+    """
+
+    mode: str
+    prefetch_depth: int
+    makespan_ms: float
+    cpu_busy_ms: float
+    read_stall_ms: float
+    write_stall_ms: float
+    io_busy_ms: float
+    disk_utilization: float
+    demand_reads: int
+    eager_reads: int
+    writes: int
+
+    @property
+    def cpu_stall_ms(self) -> float:
+        """Total time the CPU spent waiting on the disks."""
+        return self.read_stall_ms + self.write_stall_ms
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of the makespan the CPU spent merging."""
+        return self.cpu_busy_ms / self.makespan_ms if self.makespan_ms else 1.0
+
+
+class OverlapEngine:
+    """Shared simulated clock for one merge's reads, writes, and compute.
+
+    The engine is driven by hooks: the merge loop reports computation
+    (:meth:`compute`) and block needs (:meth:`wait_for`), the scheduler's
+    callbacks report issued reads and flushes (:meth:`on_parread`,
+    :meth:`on_flush`), and the writer reports stripes
+    (:meth:`on_write`).  :meth:`pump` issues eager reads inside the
+    read-ahead window; :meth:`finish` drains the disks and returns the
+    :class:`OverlapReport`.
+
+    Parameters
+    ----------
+    timing:
+        Disk service-time model.
+    block_size:
+        Records per block.
+    n_disks:
+        ``D``.
+    cpu_us_per_record:
+        Internal merge processing cost per record, in microseconds.
+    mode:
+        ``"none"`` (demand-paced), ``"prefetch"`` (read-ahead only), or
+        ``"full"`` (read-ahead + write-behind).
+    prefetch_depth:
+        Read-ahead window in eager ``ParRead`` operations; the engine
+        keeps at most ``prefetch_depth * D`` prefetched-but-unconsumed
+        blocks in memory.  Ignored when ``mode="none"``.
+    """
+
+    def __init__(
+        self,
+        timing: DiskTimingModel,
+        block_size: int,
+        n_disks: int,
+        cpu_us_per_record: float,
+        mode: str = "full",
+        prefetch_depth: int = 2,
+    ) -> None:
+        if mode not in OVERLAP_MODES:
+            raise ConfigError(
+                f"overlap mode must be one of {OVERLAP_MODES}, got {mode!r}"
+            )
+        if prefetch_depth < 0:
+            raise ConfigError(f"prefetch depth must be >= 0, got {prefetch_depth}")
+        if cpu_us_per_record < 0:
+            raise ConfigError(f"cpu cost must be >= 0, got {cpu_us_per_record}")
+        self.mode = mode
+        self.prefetch_depth = prefetch_depth
+        self.net = ServiceNetwork(n_disks, timing, block_size)
+        self._cpu_ms_per_record = cpu_us_per_record / 1000.0
+        self._window = prefetch_depth * n_disks  # read-ahead, in blocks
+        #: Simulated CPU clock.
+        self.now = 0.0
+        self.cpu_busy_ms = 0.0
+        self.read_stall_ms = 0.0
+        self.write_stall_ms = 0.0
+        self.demand_reads = 0
+        self.eager_reads = 0
+        self.writes = 0
+        #: Arrival time of issued-but-not-yet-awaited blocks.
+        self._arrival: dict[tuple[int, int], float] = {}
+        #: Blocks fetched ahead of demand and not yet consumed.
+        self._prefetched: set[tuple[int, int]] = set()
+        #: Completion time of the newest in-flight write-behind stripe.
+        self._write_done = 0.0
+        self._eager_issue = False  # set by pump() around maybe_prefetch()
+
+    # -- scheduler callbacks ---------------------------------------------
+
+    def on_parread(self, ops: list[ReadOp]) -> None:
+        """A ``ParRead`` was issued now; queue its per-disk requests."""
+        completes = self.net.submit([d for _, _, d in ops], self.now)
+        for (r, b, _d), t in zip(ops, completes):
+            self._arrival[(r, b)] = t
+            if self._eager_issue:
+                self._prefetched.add((r, b))
+        if self._eager_issue:
+            self.eager_reads += 1
+        else:
+            self.demand_reads += 1
+
+    def on_flush(self, evicted: list[tuple[int, int]]) -> None:
+        """Flushed blocks leave memory; forget their arrivals."""
+        for rb in evicted:
+            self._arrival.pop(rb, None)
+            self._prefetched.discard(rb)
+
+    # -- CPU-side events ---------------------------------------------------
+
+    def compute(self, n_records: int) -> None:
+        """The internal merge consumed *n_records*; advance the clock."""
+        dt = n_records * self._cpu_ms_per_record
+        self.now += dt
+        self.cpu_busy_ms += dt
+
+    def wait_for(self, run: int, block: int) -> None:
+        """The merge is about to read (*run*, *block*); stall if in flight."""
+        self._prefetched.discard((run, block))
+        t = self._arrival.pop((run, block), None)
+        if t is not None and t > self.now:
+            self.read_stall_ms += t - self.now
+            self.now = t
+
+    def on_write(self, disks: list[int]) -> None:
+        """The writer emitted one output stripe on *disks*."""
+        if self.mode == "full":
+            # Write-behind: M_W = 2D holds the stripe being filled plus
+            # one in flight.  Submitting a new stripe requires the
+            # previous one's frames back.
+            if self._write_done > self.now:
+                self.write_stall_ms += self._write_done - self.now
+                self.now = self._write_done
+            self._write_done = max(self.net.submit(disks, self.now, kind="write"))
+        else:
+            done = max(self.net.submit(disks, self.now, kind="write"))
+            self.write_stall_ms += done - self.now
+            self.now = done
+        self.writes += 1
+
+    # -- read-ahead --------------------------------------------------------
+
+    def pump(self, sched: "MergeScheduler") -> int:
+        """Issue eager case-2a reads while the read-ahead window has room.
+
+        Returns the number of ``ParRead`` operations issued.
+        """
+        if self.mode == "none" or self._window <= 0:
+            return 0
+        issued = 0
+        while len(self._prefetched) < self._window:
+            self._eager_issue = True
+            try:
+                if not sched.maybe_prefetch():
+                    break
+            finally:
+                self._eager_issue = False
+            issued += 1
+        return issued
+
+    # -- completion --------------------------------------------------------
+
+    def finish(self) -> OverlapReport:
+        """Drain outstanding I/O and report the simulated timings."""
+        makespan = max(self.now, self._write_done, self.net.latest_completion_ms)
+        return OverlapReport(
+            mode=self.mode,
+            prefetch_depth=self.prefetch_depth,
+            makespan_ms=makespan,
+            cpu_busy_ms=self.cpu_busy_ms,
+            read_stall_ms=self.read_stall_ms,
+            write_stall_ms=self.write_stall_ms,
+            io_busy_ms=self.net.busy_ms,
+            disk_utilization=self.net.utilization(makespan),
+            demand_reads=self.demand_reads,
+            eager_reads=self.eager_reads,
+            writes=self.writes,
+        )

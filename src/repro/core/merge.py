@@ -15,6 +15,13 @@ The merger learns a non-resident leading block's first key *only*
 through the forecasting structure (``min_i H_i[run]``, Definition 1's
 "smallest block of the run") — the information a real implementation
 would have — never by peeking at run metadata.
+
+When an :class:`~repro.core.config.OverlapConfig` is supplied, an
+:class:`~repro.core.events.OverlapEngine` advances reads, writes, and
+the chunked merge compute on a shared simulated clock — read-ahead and
+write-behind overlap I/O with computation instead of stalling on every
+``ParRead`` — and the result carries the measured
+:class:`~repro.core.events.OverlapReport`.
 """
 
 from __future__ import annotations
@@ -29,7 +36,10 @@ from ..disks.block import NO_KEY
 from ..disks.counters import IOStats
 from ..disks.files import StripedRun
 from ..disks.system import ParallelDiskSystem
+from ..disks.timing import DISK_1996, DiskTimingModel
 from ..errors import DataError, ScheduleError
+from .config import OverlapConfig
+from .events import OverlapEngine, OverlapReport
 from .job import MergeJob
 from .schedule import MergeScheduler, ScheduleStats
 from .writer import RunWriter
@@ -56,6 +66,11 @@ class MergeResult:
     schedule: ScheduleStats
     io: IOStats
     n_records: int
+    #: Heap cycles of the chunked internal merge (one per consumed key
+    #: range; ``O(switches)``, not ``O(records)``, even with duplicates).
+    heap_cycles: int = 0
+    #: Simulated-time report when an overlap engine drove the merge.
+    overlap: "OverlapReport | None" = None
 
 
 def merge_runs(
@@ -66,6 +81,8 @@ def merge_runs(
     validate: bool = False,
     prefetch: bool = False,
     free_inputs: bool = True,
+    overlap: OverlapConfig | None = None,
+    timing: DiskTimingModel | None = None,
 ) -> MergeResult:
     """Merge *runs* into one striped run on *system*.
 
@@ -82,15 +99,34 @@ def merge_runs(
         Enable scheduler invariant checks plus forecast-implant
         verification on every block read.
     prefetch:
-        Issue eager case-2a reads after each block switch (overlap
-        mode).
+        Issue eager case-2a reads after each block switch (the legacy
+        untimed overlap mode; superseded by *overlap*).
     free_inputs:
         Release each input block's disk slot once fully consumed.
+    overlap:
+        When given, an :class:`OverlapEngine` advances reads, writes,
+        and chunked merge compute on a shared simulated clock; the
+        result carries its :class:`OverlapReport`.  The engine changes
+        *when* operations complete, never *what* is read or written.
+    timing:
+        Disk service-time model for the engine (default
+        :data:`~repro.disks.timing.DISK_1996`).
     """
     if len(runs) < 2:
         raise DataError(f"a merge needs at least 2 runs, got {len(runs)}")
     job = MergeJob.from_striped_runs(runs, system.n_disks)
     start_stats = system.stats.snapshot()
+
+    eng: OverlapEngine | None = None
+    if overlap is not None:
+        eng = OverlapEngine(
+            timing if timing is not None else DISK_1996,
+            system.block_size,
+            system.n_disks,
+            overlap.cpu_us_per_record,
+            mode=overlap.mode,
+            prefetch_depth=overlap.prefetch_depth,
+        )
 
     # Resident block contents: (keys, payloads-or-None).
     block_data: dict[tuple[int, int], tuple[np.ndarray, np.ndarray | None]] = {}
@@ -102,16 +138,25 @@ def merge_runs(
             if validate:
                 _check_forecast(job, r, b, blk.forecast)
             block_data[(r, b)] = (blk.keys, blk.payloads)
+        if eng is not None:
+            eng.on_parread(ops)
 
     def on_flush(evicted: list[tuple[int, int]]) -> None:
         # Definition 6: flushing is virtual — drop the copy; the block
         # stays live on disk and will be re-read when needed.
         for r, b in evicted:
             del block_data[(r, b)]
+        if eng is not None:
+            eng.on_flush(evicted)
 
     sched = MergeScheduler(job, validate=validate, on_read=on_read, on_flush=on_flush)
     sched.initial_load()
-    writer = RunWriter(system, output_run_id, output_start_disk)
+    writer = RunWriter(
+        system,
+        output_run_id,
+        output_start_disk,
+        on_write=eng.on_write if eng is not None else None,
+    )
 
     R = job.n_runs
     offsets = [0] * R
@@ -120,11 +165,15 @@ def merge_runs(
     ]
     heapq.heapify(heap)
 
+    heap_cycles = 0
     while heap:
+        heap_cycles += 1
         key, r = heapq.heappop(heap)
         limit = heap[0][0] if heap else None
         b = sched.leading[r]
         sched.ensure_resident(r, b)
+        if eng is not None:
+            eng.wait_for(r, b)
         data, pay = block_data[(r, b)]
         off = offsets[r]
         if validate and int(data[off]) != key:
@@ -135,9 +184,16 @@ def merge_runs(
             hi = data.size
         else:
             hi = int(np.searchsorted(data, limit, side="left"))
-            if hi <= off:  # duplicate keys across runs: make progress
-                hi = off + 1
+            if hi <= off:
+                # Duplicate keys across runs (key == limit): every record
+                # equal to *key* in this block may be emitted now, and the
+                # heap's run-index tie-break would hand the turn straight
+                # back to this run anyway.  Consume the whole equal-key
+                # prefix in one step instead of one record per heap cycle.
+                hi = int(np.searchsorted(data, key, side="right"))
         writer.append(data[off:hi], None if pay is None else pay[off:hi])
+        if eng is not None:
+            eng.compute(hi - off)
 
         if hi == data.size:
             del block_data[(r, b)]
@@ -163,7 +219,9 @@ def merge_runs(
             offsets[r] = hi
             heapq.heappush(heap, (int(data[hi]), r))
 
-        if prefetch:
+        if eng is not None:
+            eng.pump(sched)
+        elif prefetch:
             sched.maybe_prefetch()
 
     if not sched.finished():
@@ -174,7 +232,7 @@ def merge_runs(
         raise ScheduleError(
             f"merged {output.n_records} records, expected {n_records}"
         )
-    if validate and writer.max_buffered_blocks > 2 * system.n_disks + 1:
+    if validate and writer.max_buffered_blocks > 2 * system.n_disks:
         raise ScheduleError(
             f"output buffer used {writer.max_buffered_blocks} blocks,"
             f" exceeding M_W = 2D = {2 * system.n_disks}"
@@ -184,6 +242,8 @@ def merge_runs(
         schedule=sched.stats(),
         io=system.stats.since(start_stats),
         n_records=n_records,
+        heap_cycles=heap_cycles,
+        overlap=eng.finish() if eng is not None else None,
     )
 
 

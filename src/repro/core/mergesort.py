@@ -16,9 +16,11 @@ import numpy as np
 from ..disks.counters import IOStats
 from ..disks.files import StripedFile, StripedRun
 from ..disks.system import ParallelDiskSystem
+from ..disks.timing import DiskTimingModel
 from ..errors import ConfigError
 from ..rng import RngLike, ensure_rng
-from .config import SRMConfig
+from .config import OverlapConfig, SRMConfig
+from .events import OverlapReport
 from .layout import LayoutStrategy, choose_start_disks
 from .merge import merge_runs
 from .run_formation import form_runs_load_sort, form_runs_replacement_selection
@@ -54,6 +56,11 @@ class SortResult:
     passes: list[PassStats] = field(default_factory=list)
     io: IOStats | None = None
     merge_schedules: list[ScheduleStats] = field(default_factory=list)
+    #: Per-merge simulated-time reports when an overlap engine ran.
+    overlap_reports: list[OverlapReport] = field(default_factory=list)
+    #: Total internal-merge heap pops across all merges (block-granular
+    #: consumption keeps this near the block count, not the record count).
+    heap_cycles: int = 0
     #: The disk system the sort ran on (set by srm_sort / srm_mergesort)
     #: so peek helpers can default to it.
     system: ParallelDiskSystem | None = None
@@ -61,6 +68,11 @@ class SortResult:
     @property
     def n_merge_passes(self) -> int:
         return len(self.passes)
+
+    @property
+    def simulated_merge_ms(self) -> float:
+        """Summed simulated wall-clock of all engine-driven merges."""
+        return sum(r.makespan_ms for r in self.overlap_reports)
 
     @property
     def total_parallel_ios(self) -> int:
@@ -104,6 +116,8 @@ def srm_mergesort(
     prefetch: bool = False,
     run_length: int | None = None,
     formation: str = "load_sort",
+    overlap: OverlapConfig | None = None,
+    timing: DiskTimingModel | None = None,
 ) -> SortResult:
     """Sort *infile* on *system* with SRM; returns the sorted run + stats.
 
@@ -120,6 +134,14 @@ def srm_mergesort(
         memory, ``config.memory_records``).
     formation:
         ``"load_sort"`` or ``"replacement_selection"``.
+    overlap:
+        Drive every merge through the discrete-event overlap engine;
+        per-merge :class:`OverlapReport`\\ s land in
+        ``SortResult.overlap_reports``.  Does not change the sorted
+        output or the I/O counts in ``overlap.mode == "none"``.
+    timing:
+        Disk service-time model for the engine (default
+        :data:`~repro.disks.timing.DISK_1996`).
     """
     if config.n_disks != system.n_disks or config.block_size != system.block_size:
         raise ConfigError("config geometry does not match the disk system")
@@ -165,6 +187,8 @@ def srm_mergesort(
                 output_start_disk=int(starts[g]),
                 validate=validate,
                 prefetch=prefetch,
+                overlap=overlap,
+                timing=timing,
             )
             next_run_id += 1
             delta = system.stats.since(before)
@@ -174,6 +198,9 @@ def srm_mergesort(
             blocks_flushed += mres.schedule.blocks_flushed
             n_merges += 1
             result.merge_schedules.append(mres.schedule)
+            result.heap_cycles += mres.heap_cycles
+            if mres.overlap is not None:
+                result.overlap_reports.append(mres.overlap)
             out_runs.append(mres.output)
         result.passes.append(
             PassStats(
@@ -204,6 +231,8 @@ def srm_sort(
     run_length: int | None = None,
     formation: str = "load_sort",
     payloads: np.ndarray | None = None,
+    overlap: OverlapConfig | None = None,
+    timing: DiskTimingModel | None = None,
 ) -> tuple[np.ndarray, SortResult]:
     """Convenience: sort a key array on a fresh simulated disk system.
 
@@ -226,5 +255,7 @@ def srm_sort(
         validate=validate,
         run_length=run_length,
         formation=formation,
+        overlap=overlap,
+        timing=timing,
     )
     return result.peek_sorted(system), result

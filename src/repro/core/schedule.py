@@ -83,7 +83,9 @@ class ScheduleStats:
     n_disks: int
     max_mr_occupied: int
     #: Blocks depleted before the first ParRead, between consecutive
-    #: ParReads, and after the last one (length = merge_parreads + 1).
+    #: ParReads, and after the last one (length = merge_parreads + 1 for
+    #: a finished schedule; mid-run snapshots omit the in-flight partial
+    #: gap and have length merge_parreads).
     depletion_gaps: tuple[int, ...] = ()
 
     @property
@@ -151,7 +153,19 @@ class MergeScheduler:
         return bisect_left(self._f, (s_min, -1, -1)) + 1
 
     def stats(self) -> ScheduleStats:
-        """Snapshot of the schedule's I/O counters."""
+        """Snapshot of the schedule's I/O counters.
+
+        Side-effect-free and idempotent.  The depletions accumulated
+        since the last ``ParRead`` form a *partial* gap: they are
+        reported as the trailing entry of ``depletion_gaps`` only once
+        the schedule has finished (when they are final by definition).
+        Mid-run snapshots exclude them — the same depletions would
+        otherwise be counted again inside the gap closed by the next
+        ``ParRead``.
+        """
+        gaps = tuple(self.depletion_gaps)
+        if self.finished():
+            gaps += (self._depletions_since_read,)
         return ScheduleStats(
             initial_reads=self.initial_reads,
             merge_parreads=self.merge_parreads,
@@ -161,7 +175,7 @@ class MergeScheduler:
             n_blocks=self.job.n_blocks,
             n_disks=self.job.n_disks,
             max_mr_occupied=self.max_mr_occupied,
-            depletion_gaps=tuple(self.depletion_gaps) + (self._depletions_since_read,),
+            depletion_gaps=gaps,
         )
 
     # -- step 1: initial load (§5.5 step 1) --------------------------------

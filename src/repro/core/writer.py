@@ -14,6 +14,8 @@ Records may carry payloads: internally the buffer is a 2-row matrix
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 import numpy as np
 
 from ..disks.block import NO_KEY, Block
@@ -31,6 +33,7 @@ class RunWriter:
         system: ParallelDiskSystem,
         run_id: int,
         start_disk: int,
+        on_write: Optional[Callable[[list[int]], None]] = None,
     ) -> None:
         if not 0 <= start_disk < system.n_disks:
             raise DataError(
@@ -39,6 +42,9 @@ class RunWriter:
         self.system = system
         self.run_id = run_id
         self.start_disk = start_disk
+        #: Callback invoked after every parallel write with the disks
+        #: written (the overlap engine's write-behind hook).
+        self.on_write = on_write
         #: Buffered data as (rows, n) chunks; rows = 1 (keys only) or
         #: 2 (keys; payloads), fixed by the first append.
         self._chunks: list[np.ndarray] = []
@@ -50,8 +56,7 @@ class RunWriter:
         self._last_keys: list[int] = []
         self._n_records = 0
         self._finalized = False
-        #: High-water mark of buffered blocks (must stay <= 2D + 1
-        #: transiently, <= 2D at rest).
+        #: High-water mark of buffered blocks (must stay <= 2D = |M_W|).
         self.max_buffered_blocks = 0
         self._last_appended: int | None = None
 
@@ -85,12 +90,15 @@ class RunWriter:
         self._pending += keys.size
         self._n_records += keys.size
         D, B = self.system.n_disks, self.system.block_size
-        self.max_buffered_blocks = max(self.max_buffered_blocks, -(-self._pending // B))
         # Drain: stripe j is writable once stripes j and j+1 are both
         # fully materialized (2·D·B buffered records).
         while self._pending >= 2 * D * B:
             window = self._take_front(2 * D * B, consume=D * B)
             self._write_stripe(window[:, : D * B], lookahead=window[:, D * B :])
+        # High-water is measured after draining: a stripe is written the
+        # instant it becomes writable, so M_W never holds more than 2D
+        # blocks at rest.
+        self.max_buffered_blocks = max(self.max_buffered_blocks, -(-self._pending // B))
 
     def _take_front(self, n: int, consume: int) -> np.ndarray:
         """Return the first *n* buffered records, consuming *consume*."""
@@ -118,6 +126,12 @@ class RunWriter:
 
     # -- emit ----------------------------------------------------------------
 
+    def _emit(self, writes: list) -> None:
+        """Perform one parallel write and fire the ``on_write`` hook."""
+        self.system.write_stripe(writes)
+        if self.on_write is not None:
+            self.on_write([a.disk for a, _ in writes])
+
     def _write_stripe(self, stripe: np.ndarray, lookahead: np.ndarray) -> None:
         """Write one full stripe; *lookahead* is the next stripe's data."""
         D, B = self.system.n_disks, self.system.block_size
@@ -132,7 +146,7 @@ class RunWriter:
                 # Key of block index + D, i.e. the lookahead stripe's m-th.
                 fc = (int(lookahead[0, m * B]),)
             writes.append(self._emit_block(index, data, fc))
-        self.system.write_stripe(writes)
+        self._emit(writes)
         self._next_block += D
 
     def _emit_block(
@@ -187,10 +201,10 @@ class RunWriter:
                 fc = (key_of(index + D),)
             writes.append(self._emit_block(index, data, fc))
             if len(writes) == D:
-                self.system.write_stripe(writes)
+                self._emit(writes)
                 writes = []
         if writes:
-            self.system.write_stripe(writes)
+            self._emit(writes)
         self._next_block = total_blocks
         return StripedRun(
             run_id=self.run_id,

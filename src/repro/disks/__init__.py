@@ -10,6 +10,8 @@ Public surface:
 * :class:`StripedFile`, :class:`StripedRun` — file/run layouts
 * striping arithmetic helpers (:func:`cyclic_disk` et al.)
 * :class:`DiskTimingModel` and the :data:`DISK_1996` preset
+* :class:`DiskService`, :class:`ServiceNetwork` — per-disk FIFO queues
+  for the overlapped-I/O engine
 """
 
 from .block import NO_KEY, Block, attach_forecasts, split_into_blocks
@@ -30,6 +32,7 @@ from .striping import (
     chain_start_index,
     cyclic_disk,
 )
+from .service import DiskService, ServiceNetwork
 from .system import BlockAddress, ParallelDiskSystem
 from .timing import DISK_1996, DISK_MODERN, DiskTimingModel
 
@@ -55,6 +58,8 @@ __all__ = [
     "cyclic_disk",
     "BlockAddress",
     "ParallelDiskSystem",
+    "DiskService",
+    "ServiceNetwork",
     "DiskTimingModel",
     "DISK_1996",
     "DISK_MODERN",

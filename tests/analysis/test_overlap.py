@@ -70,3 +70,35 @@ class TestMakespan:
         stats, B = merged_stats()
         with pytest.raises(ConfigError):
             merge_makespan(stats, DISK_1996, B, cpu_us_per_record=-1)
+
+
+class TestOverlapGap:
+    """Predicted (analytic) vs executed (engine) makespan comparison."""
+
+    def _gap(self, mode="full"):
+        from repro.analysis import execute_merge_timeline, overlap_gap
+
+        R, D, blocks, B, seed = 12, 4, 50, 8, 3
+        runs = random_partition_runs(R, blocks * B, rng=seed)
+        job = MergeJob.from_key_runs(runs, B, D, rng=seed + 1)
+        stats = simulate_merge(job)
+        # Identical layout seed: the executed job replays the same schedule.
+        runs = random_partition_runs(R, blocks * B, rng=seed)
+        job = MergeJob.from_key_runs(runs, B, D, rng=seed + 1)
+        cpu = DISK_1996.op_time_ms(B) * 1000 / B
+        est = merge_makespan(stats, DISK_1996, B, cpu)
+        rep = execute_merge_timeline(job, DISK_1996, B, cpu, mode=mode)
+        return overlap_gap(est, rep)
+
+    def test_fields_pass_through(self):
+        gap = self._gap()
+        assert gap.predicted_serial_ms > gap.predicted_pipelined_ms > 0
+        assert gap.executed_ms > 0
+
+    def test_model_within_modest_factor_of_execution(self):
+        gap = self._gap()
+        assert 0.5 <= gap.gap_ratio <= 2.0
+
+    def test_executed_speedup_positive_when_overlapped(self):
+        gap = self._gap(mode="full")
+        assert gap.executed_speedup > 1.0

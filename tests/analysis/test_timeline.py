@@ -94,3 +94,38 @@ class TestPrefetchValue:
         res = simulate_merge_timeline(job, DISK_1996, B, t_io * 1000 / B)
         assert 0 < res.cpu_utilization <= 1
         assert 0 < res.io_utilization <= 1
+
+
+class TestExecuteTimeline:
+    """The engine-backed executor over the same event stream."""
+
+    def _balanced(self, **kw):
+        job, B = make_job(**kw)
+        cpu = DISK_1996.op_time_ms(B) * 1000 / B
+        return job, B, cpu
+
+    def test_demand_mode_read_counts_match_simulator(self):
+        from repro.analysis import execute_merge_timeline
+
+        job, B, cpu = self._balanced()
+        rep = execute_merge_timeline(job, DISK_1996, B, cpu, mode="none")
+        stats = simulate_merge(job)
+        assert rep.demand_reads == stats.total_reads
+        assert rep.eager_reads == 0
+
+    def test_overlap_beats_demand_when_balanced(self):
+        from repro.analysis import execute_merge_timeline
+
+        job, B, cpu = self._balanced(R=16, D=4, blocks=60)
+        slow = execute_merge_timeline(job, DISK_1996, B, cpu, mode="none")
+        fast = execute_merge_timeline(job, DISK_1996, B, cpu, mode="full")
+        assert fast.makespan_ms < slow.makespan_ms
+        assert fast.cpu_stall_ms < slow.cpu_stall_ms
+
+    def test_conservation(self):
+        from repro.analysis import execute_merge_timeline
+
+        job, B, cpu = self._balanced()
+        rep = execute_merge_timeline(job, DISK_1996, B, cpu)
+        assert rep.makespan_ms >= rep.cpu_busy_ms - 1e-9
+        assert 0.0 <= rep.disk_utilization <= 1.0

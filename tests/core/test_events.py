@@ -1,0 +1,170 @@
+"""Tests for the discrete-event overlapped-I/O engine.
+
+The engine's contract has two halves:
+
+* **Observation only** — it never changes *what* the scheduler reads,
+  flushes, or the writer emits, so ``mode="none"`` reproduces the
+  demand-paced :class:`ScheduleStats` exactly and every mode produces
+  byte-identical sorted output.
+* **Timing** — on a compute/IO-balanced workload, a read-ahead window
+  of depth >= 1 is strictly faster than demand pacing, and adding
+  write-behind (``mode="full"``) is at least as fast again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MergeJob,
+    OverlapConfig,
+    OverlapEngine,
+    SRMConfig,
+    merge_runs,
+    srm_sort,
+)
+from repro.disks import DISK_1996, ParallelDiskSystem, StripedRun
+from repro.errors import ConfigError
+from repro.workloads import random_partition_runs
+
+D, B, R = 4, 8, 4
+CONFIG = SRMConfig(n_disks=D, block_size=B, merge_order=R)
+#: CPU cost that balances one record's merge work against its share of
+#: block service time — the regime where overlap matters most.
+BALANCED_US = DISK_1996.op_time_ms(B) * 1000.0 / B
+
+
+def sort_with(mode, depth=2, n=2048, seed=11, cpu_us=BALANCED_US):
+    keys = np.random.default_rng(seed).permutation(n).astype(np.int64)
+    overlap = (
+        None
+        if mode is None
+        else OverlapConfig(mode=mode, prefetch_depth=depth, cpu_us_per_record=cpu_us)
+    )
+    return srm_sort(
+        keys,
+        CONFIG,
+        rng=np.random.default_rng(seed + 1),
+        validate=True,
+        overlap=overlap,
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = OverlapConfig()
+        assert cfg.mode == "full"
+        assert cfg.prefetch_depth == 2
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            OverlapConfig(mode="eager")
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            OverlapConfig(prefetch_depth=-1)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ConfigError):
+            OverlapConfig(cpu_us_per_record=-0.5)
+
+    def test_engine_validates_too(self):
+        with pytest.raises(ConfigError):
+            OverlapEngine(DISK_1996, B, D, 1.0, mode="bogus")
+        with pytest.raises(ConfigError):
+            OverlapEngine(DISK_1996, B, D, 1.0, prefetch_depth=-2)
+
+
+class TestObservationOnly:
+    """The engine must not perturb the schedule it is timing."""
+
+    def test_mode_none_matches_demand_paced_stats_exactly(self):
+        out_a, res_a = sort_with(None)
+        out_b, res_b = sort_with("none")
+        assert np.array_equal(out_a, out_b)
+        assert len(res_a.merge_schedules) == len(res_b.merge_schedules)
+        for sa, sb in zip(res_a.merge_schedules, res_b.merge_schedules):
+            assert sa == sb  # reads, flushes, gaps, overhead — all of it
+            assert sa.overhead_v == sb.overhead_v
+
+    @pytest.mark.parametrize("mode,depth", [("prefetch", 1), ("prefetch", 3), ("full", 2)])
+    def test_all_modes_sort_byte_identically(self, mode, depth):
+        out_ref, _ = sort_with(None)
+        out, res = sort_with(mode, depth=depth)
+        assert np.array_equal(out, out_ref)
+        assert all(r.mode == mode for r in res.overlap_reports)
+
+    def test_merge_level_output_identical(self):
+        runs_keys = random_partition_runs(R, 16 * B, rng=5)
+
+        def run_merge(overlap):
+            system = ParallelDiskSystem(D, B)
+            runs = [
+                StripedRun.from_sorted_keys(system, k, run_id=i, start_disk=i % D)
+                for i, k in enumerate(runs_keys)
+            ]
+            res = merge_runs(system, runs, 30, 0, validate=True, overlap=overlap)
+            return np.concatenate(
+                [system.disks[a.disk].read(a.slot).keys for a in res.output.addresses]
+            )
+
+        base = run_merge(None)
+        for mode in ("none", "prefetch", "full"):
+            got = run_merge(OverlapConfig(mode=mode, cpu_us_per_record=BALANCED_US))
+            assert np.array_equal(got, base)
+
+
+class TestTiming:
+    def test_reports_collected_per_merge(self):
+        _, res = sort_with("full")
+        assert len(res.overlap_reports) == len(res.merge_schedules)
+        assert res.simulated_merge_ms == pytest.approx(
+            sum(r.makespan_ms for r in res.overlap_reports)
+        )
+
+    def test_prefetch_strictly_faster_than_demand_when_balanced(self):
+        _, none = sort_with("none")
+        _, pre = sort_with("prefetch", depth=1)
+        assert pre.simulated_merge_ms < none.simulated_merge_ms
+
+    def test_full_no_slower_than_prefetch(self):
+        _, pre = sort_with("prefetch", depth=2)
+        _, full = sort_with("full", depth=2)
+        assert full.simulated_merge_ms <= pre.simulated_merge_ms + 1e-9
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_every_window_depth_beats_demand_pacing(self, depth):
+        # Monotonicity *in depth* is not guaranteed at small scale (an
+        # eager read can queue ahead of a demanded block), but any
+        # read-ahead at all must beat stalling on every ParRead.
+        base = sort_with("none")[1].simulated_merge_ms
+        assert sort_with("prefetch", depth=depth)[1].simulated_merge_ms < base
+
+    def test_mode_none_issues_no_eager_reads(self):
+        _, res = sort_with("none")
+        for rep in res.overlap_reports:
+            assert rep.eager_reads == 0
+
+    def test_eager_reads_replace_demand_reads(self):
+        _, none = sort_with("none")
+        _, full = sort_with("full", depth=4)
+        for a, b, stats in zip(
+            none.overlap_reports, full.overlap_reports, full.merge_schedules
+        ):
+            # Total ParReads are schedule-determined; eager issue only
+            # reclassifies them (a prefetch can land on another legal
+            # case-2a block, but the operation count is bounded by the
+            # same schedule law).
+            assert b.demand_reads + b.eager_reads == stats.total_reads
+            assert a.demand_reads == stats.total_reads
+
+    def test_report_invariants(self):
+        _, res = sort_with("full")
+        for rep in res.overlap_reports:
+            assert rep.makespan_ms >= rep.cpu_busy_ms - 1e-9
+            assert 0.0 <= rep.disk_utilization <= 1.0
+            assert 0.0 <= rep.cpu_utilization <= 1.0 + 1e-9
+            assert rep.cpu_stall_ms == pytest.approx(
+                rep.read_stall_ms + rep.write_stall_ms
+            )

@@ -142,6 +142,63 @@ class TestDepletion:
         assert not sched.finished()
 
 
+class TestStatsSnapshot:
+    """``stats()`` must be a pure snapshot — callable any number of
+    times mid-run without perturbing the depletion-gap accounting."""
+
+    def _partial_merge(self):
+        job = make_job(interleaved_runs(2, 6, 2), D=2, starts=[0, 1])
+        sched = MergeScheduler(job, validate=True)
+        sched.initial_load()
+        # Deplete both leading blocks, forcing at least one demand read,
+        # then deplete again so a *partial* gap is in progress.
+        sched.ensure_resident(0, 1)
+        sched.on_leading_depleted(0)
+        sched.ensure_resident(1, 1)
+        sched.on_leading_depleted(1)
+        return sched
+
+    def test_mid_run_stats_idempotent(self):
+        sched = self._partial_merge()
+        first = sched.stats()
+        second = sched.stats()
+        assert first == second
+
+    def test_partial_gap_excluded_mid_run(self):
+        sched = self._partial_merge()
+        st = sched.stats()
+        assert not sched.finished()
+        # One closed gap per merge ParRead; the in-progress gap since the
+        # last read is *not* reported (it is still growing).
+        assert len(st.depletion_gaps) == st.merge_parreads
+
+    def test_final_stats_include_trailing_gap(self):
+        from repro.core import simulate_merge
+
+        job = make_job(interleaved_runs(3, 5, 2), D=3, starts=[0, 1, 2])
+        stats = simulate_merge(job)
+        assert len(stats.depletion_gaps) == stats.merge_parreads + 1
+        assert sum(stats.depletion_gaps) == stats.n_blocks
+
+    def test_final_stats_idempotent(self):
+        job = make_job(interleaved_runs(2, 4, 2), D=2, starts=[0, 1])
+        sched = MergeScheduler(job)
+        sched.initial_load()
+        while not sched.finished():  # deplete runs round-robin
+            r = min(
+                (run for run in range(2) if not sched.run_exhausted(run)),
+                key=lambda run: sched.leading[run],
+            )
+            nxt = sched.leading[r] + 1
+            if nxt < 4:
+                sched.ensure_resident(r, nxt)
+            sched.on_leading_depleted(r)
+        first = sched.stats()
+        second = sched.stats()
+        assert first == second
+        assert len(first.depletion_gaps) == first.merge_parreads + 1
+
+
 class TestPrefetch:
     def test_prefetch_respects_case_2a(self):
         job = make_job(interleaved_runs(2, 10, 2), D=2, starts=[0, 1])

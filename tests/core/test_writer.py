@@ -127,7 +127,18 @@ class TestIOAndBuffering:
         for i in range(0, 200, 2):  # small appends, as the merge produces
             w.append(np.array([i, i + 1]))
         w.finalize()
-        assert w.max_buffered_blocks <= 2 * D + 1
+        assert w.max_buffered_blocks <= 2 * D  # |M_W| = 2D exactly (§5.1)
+
+    def test_on_write_hook_sees_every_stripe(self):
+        D, B, n = 3, 2, 20
+        stripes: list[list[int]] = []
+        system = ParallelDiskSystem(D, B)
+        w = RunWriter(system, 0, 0, on_write=stripes.append)
+        w.append(np.arange(n, dtype=np.int64))
+        run = w.finalize()
+        assert sum(len(s) for s in stripes) == run.n_blocks
+        for s in stripes:
+            assert len(set(s)) == len(s)  # one block per disk per stripe
 
     def test_single_record_run(self):
         system = ParallelDiskSystem(3, 4)
