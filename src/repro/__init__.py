@@ -39,6 +39,8 @@ from .baselines import DSMSortResult, dsm_mergesort, dsm_sort, single_disk_sort
 from .core import (
     DSMConfig,
     LayoutStrategy,
+    LoserTree,
+    MERGERS,
     MergeJob,
     MergeScheduler,
     ScheduleStats,
@@ -78,6 +80,8 @@ __all__ = [
     "single_disk_sort",
     "DSMConfig",
     "LayoutStrategy",
+    "LoserTree",
+    "MERGERS",
     "MergeJob",
     "MergeScheduler",
     "ScheduleStats",

@@ -1,0 +1,251 @@
+"""Hot-path performance harness (``repro bench``).
+
+Times the three data-plane hot paths against their reference
+implementations and *proves equivalence while doing so*:
+
+* **merge** — full ``srm_sort`` with ``merger="losertree"`` (the
+  vectorized batched data plane) vs. ``merger="heapq"`` (the reference
+  loop).  Identical output records, per-merge :class:`ScheduleStats`,
+  and disk-system I/O counters are asserted on every run.
+* **run formation** — replacement selection with ``engine="block"``
+  (array-at-a-time) vs. ``engine="record"`` (the heap oracle).
+  Identical run contents and I/O counters are asserted.
+* **writer** — :class:`~repro.core.writer.RunWriter` ring-buffer
+  streaming throughput (no alternate implementation; tracked so
+  regressions are visible).
+
+Results land in a JSON report (default ``BENCH_sort_throughput.json``)
+with records/second, wall-clock, heap cycles, and speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from .core import SRMConfig, srm_sort
+from .core.layout import LayoutStrategy
+from .core.run_formation import form_runs_replacement_selection
+from .core.writer import RunWriter
+from .disks.files import StripedFile
+from .disks.system import ParallelDiskSystem
+from .errors import DataError
+from .workloads import uniform_permutation
+
+#: Default scales: quick mode for CI smoke, full mode for the committed
+#: report (full-mode run formation uses M >= 1e5 per the target spec).
+QUICK = {
+    "merge_records": 20_000,
+    "rs_records": 30_000,
+    "rs_memory": 10_000,
+    "writer_records": 200_000,
+}
+FULL = {
+    "merge_records": 200_000,
+    "rs_records": 300_000,
+    "rs_memory": 100_000,
+    "writer_records": 2_000_000,
+}
+
+
+def _time(fn: Callable[[], Any]) -> tuple[float, Any]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _schedule_tuple(s) -> tuple:
+    return (
+        s.initial_reads,
+        s.merge_parreads,
+        s.blocks_read,
+        s.flush_ops,
+        s.blocks_flushed,
+        s.n_blocks,
+        s.max_mr_occupied,
+    )
+
+
+def _io_tuple(io) -> tuple:
+    return (
+        io.parallel_reads,
+        io.parallel_writes,
+        io.blocks_read,
+        io.blocks_written,
+        tuple(int(x) for x in io.reads_per_disk),
+        tuple(int(x) for x in io.writes_per_disk),
+    )
+
+
+def bench_merge(n_records: int, k: int = 4, n_disks: int = 4,
+                block_size: int = 64, seed: int = 2) -> dict:
+    """Time ``srm_sort`` with both mergers; assert identical I/O + output."""
+    keys = uniform_permutation(n_records, rng=seed)
+    cfg = SRMConfig.from_k(k, n_disks, block_size)
+    out: dict[str, dict] = {}
+    baseline: dict[str, Any] = {}
+    for merger in ("heapq", "losertree"):
+        wall, (sorted_keys, res) = _time(
+            lambda m=merger: srm_sort(keys, cfg, rng=seed + 1, merger=m)
+        )
+        sched = [_schedule_tuple(s) for s in res.merge_schedules]
+        io = _io_tuple(res.io)
+        rounds = res.system.channel_rounds
+        if not baseline:
+            baseline = {"keys": sorted_keys, "sched": sched, "io": io,
+                        "rounds": rounds}
+        else:
+            if not np.array_equal(baseline["keys"], sorted_keys):
+                raise DataError("merger equivalence violated: output records differ")
+            if (baseline["sched"] != sched or baseline["io"] != io
+                    or baseline["rounds"] != rounds):
+                raise DataError("merger equivalence violated: I/O schedules differ")
+        out[merger] = {
+            "wall_s": round(wall, 6),
+            "records_per_sec": round(n_records / wall),
+            "heap_cycles": res.heap_cycles,
+            "parallel_ios": res.total_parallel_ios,
+        }
+    out["speedup"] = round(
+        out["losertree"]["records_per_sec"] / out["heapq"]["records_per_sec"], 3
+    )
+    out["params"] = {
+        "n_records": n_records, "k": k, "n_disks": n_disks,
+        "block_size": block_size, "seed": seed,
+    }
+    out["io_equivalent"] = True  # asserted above; a failure raises
+    return out
+
+
+def bench_run_formation(n_records: int, memory_records: int,
+                        n_disks: int = 4, block_size: int = 64,
+                        seed: int = 5) -> dict:
+    """Time replacement selection with both engines; assert equivalence."""
+    keys = uniform_permutation(n_records, rng=seed)
+    out: dict[str, dict] = {}
+    baseline: dict[str, Any] = {}
+    for engine in ("record", "block"):
+        system = ParallelDiskSystem(n_disks, block_size)
+        infile = StripedFile.from_records(system, keys)
+        before = system.stats.snapshot()
+        wall, runs = _time(
+            lambda s=system, f=infile, e=engine: form_runs_replacement_selection(
+                s, f, memory_records, LayoutStrategy.RANDOMIZED,
+                rng=seed + 1, engine=e,
+            )
+        )
+        io = _io_tuple(system.stats.since(before))
+        contents = [
+            tuple(
+                system.disks[a.disk].read(a.slot).keys.tobytes()
+                for a in r.addresses
+            )
+            for r in runs
+        ]
+        if not baseline:
+            baseline = {"io": io, "contents": contents, "n_runs": len(runs)}
+        else:
+            if baseline["contents"] != contents:
+                raise DataError("engine equivalence violated: run contents differ")
+            if baseline["io"] != io:
+                raise DataError("engine equivalence violated: I/O counts differ")
+        out[engine] = {
+            "wall_s": round(wall, 6),
+            "records_per_sec": round(n_records / wall),
+            "runs_formed": len(runs),
+        }
+    out["speedup"] = round(
+        out["block"]["records_per_sec"] / out["record"]["records_per_sec"], 3
+    )
+    out["params"] = {
+        "n_records": n_records, "memory_records": memory_records,
+        "n_disks": n_disks, "block_size": block_size, "seed": seed,
+    }
+    out["io_equivalent"] = True
+    return out
+
+
+def bench_writer(n_records: int, n_disks: int = 4, block_size: int = 64,
+                 chunk: int = 96) -> dict:
+    """Time ring-buffer streaming of a sorted stream through RunWriter."""
+    system = ParallelDiskSystem(n_disks, block_size)
+    keys = np.arange(n_records, dtype=np.int64)
+
+    def run():
+        w = RunWriter(system, run_id=0, start_disk=0)
+        for i in range(0, n_records, chunk):
+            w.append(keys[i : i + chunk])
+        return w.finalize()
+
+    wall, run_out = _time(run)
+    assert run_out.n_records == n_records
+    return {
+        "wall_s": round(wall, 6),
+        "records_per_sec": round(n_records / wall),
+        "append_chunk": chunk,
+        "max_buffered_blocks": 2 * n_disks,
+        "params": {
+            "n_records": n_records, "n_disks": n_disks, "block_size": block_size,
+        },
+    }
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """Run the full harness; returns the JSON-ready report."""
+    scale = QUICK if quick else FULL
+    report = {
+        "benchmark": "repro bench (hot-path harness)",
+        "mode": "quick" if quick else "full",
+        "merge": bench_merge(scale["merge_records"]),
+        "run_formation": bench_run_formation(
+            scale["rs_records"], scale["rs_memory"]
+        ),
+        "writer": bench_writer(scale["writer_records"]),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro bench", description="hot-path performance harness"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="reduced scale (CI smoke)")
+    p.add_argument("--out", default="BENCH_sort_throughput.json",
+                   help="report path (default: %(default)s)")
+    p.add_argument("--min-merge-speedup", type=float, default=None,
+                   help="fail unless losertree/heapq >= this ratio")
+    p.add_argument("--min-rs-speedup", type=float, default=None,
+                   help="fail unless block/record >= this ratio")
+    args = p.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+    m, rs = report["merge"], report["run_formation"]
+    print(f"merge        losertree {m['losertree']['records_per_sec']:>10,} rec/s"
+          f"  heapq {m['heapq']['records_per_sec']:>10,} rec/s"
+          f"  speedup {m['speedup']:.2f}x")
+    print(f"run formation    block {rs['block']['records_per_sec']:>10,} rec/s"
+          f"  record {rs['record']['records_per_sec']:>10,} rec/s"
+          f"  speedup {rs['speedup']:.2f}x")
+    print(f"writer        {report['writer']['records_per_sec']:>10,} rec/s")
+    print(f"report -> {args.out}")
+
+    ok = True
+    if args.min_merge_speedup is not None and m["speedup"] < args.min_merge_speedup:
+        print(f"FAIL: merge speedup {m['speedup']} < {args.min_merge_speedup}",
+              file=sys.stderr)
+        ok = False
+    if args.min_rs_speedup is not None and rs["speedup"] < args.min_rs_speedup:
+        print(f"FAIL: run-formation speedup {rs['speedup']} < {args.min_rs_speedup}",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1

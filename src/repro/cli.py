@@ -8,6 +8,7 @@ Usage::
     python -m repro table4 [--blocks-per-run L] [--block-size B]
     python -m repro figure1
     python -m repro sort --n 100000 --disks 4 --block 64 --k 4 [--dsm]
+    python -m repro bench [--quick] [--out BENCH_sort_throughput.json]
     python -m repro demo
 
 ``--full`` switches Table 3/4 to paper-scale run lengths (slow).
@@ -210,6 +211,19 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main as bench_main
+
+    argv = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.min_merge_speedup is not None:
+        argv += ["--min-merge-speedup", str(args.min_merge_speedup)]
+    if args.min_rs_speedup is not None:
+        argv += ["--min-rs-speedup", str(args.min_rs_speedup)]
+    return bench_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -288,6 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     d = sub.add_parser("demo", help="quick SRM-vs-DSM comparison")
     d.set_defaults(func=_cmd_demo)
+
+    be = sub.add_parser(
+        "bench",
+        help="hot-path perf harness: vectorized vs reference data planes",
+    )
+    be.add_argument("--quick", action="store_true",
+                    help="reduced scale (CI smoke)")
+    be.add_argument("--out", default="BENCH_sort_throughput.json",
+                    help="JSON report path (default: %(default)s)")
+    be.add_argument("--min-merge-speedup", type=float, default=None,
+                    help="fail unless losertree/heapq >= this ratio")
+    be.add_argument("--min-rs-speedup", type=float, default=None,
+                    help="fail unless block/record >= this ratio")
+    be.set_defaults(func=_cmd_bench)
     return p
 
 

@@ -14,10 +14,11 @@ from .config import (
     memory_records_for_k,
 )
 from .events import OverlapEngine, OverlapReport
-from .forecasting import INF, ForecastStructure
+from .forecasting import INF, INF_I64, ForecastStructure
 from .job import MergeJob
 from .layout import LayoutStrategy, choose_start_disks
-from .merge import MergeResult, merge_runs
+from .losertree import LoserTree
+from .merge import MERGERS, MergeResult, merge_runs
 from .mergesort import PassStats, SortResult, srm_mergesort, srm_sort
 from .phases import (
     PhaseBound,
@@ -32,7 +33,11 @@ from .partial_striping import (
     merge_order_profile,
     partial_striping_sort,
 )
-from .run_formation import form_runs_load_sort, form_runs_replacement_selection
+from .run_formation import (
+    RS_ENGINES,
+    form_runs_load_sort,
+    form_runs_replacement_selection,
+)
 from .schedule import MergeScheduler, ScheduleStats
 from .simulator import build_event_stream, simulate_merge
 from .sort_simulator import SimPassStats, SimSortResult, simulate_mergesort
@@ -47,10 +52,13 @@ __all__ = [
     "OverlapReport",
     "memory_records_for_k",
     "INF",
+    "INF_I64",
     "ForecastStructure",
     "MergeJob",
     "LayoutStrategy",
     "choose_start_disks",
+    "LoserTree",
+    "MERGERS",
     "MergeResult",
     "merge_runs",
     "PassStats",
@@ -66,6 +74,7 @@ __all__ = [
     "PartialStriping",
     "merge_order_profile",
     "partial_striping_sort",
+    "RS_ENGINES",
     "form_runs_load_sort",
     "form_runs_replacement_selection",
     "MergeScheduler",

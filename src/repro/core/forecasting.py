@@ -18,22 +18,31 @@ already seen.  ``H`` therefore never contains information the real
 forecast format would not provide; a cross-check against the on-disk
 implanted tuples lives in the test suite.
 
-Each disk keeps a lazy min-heap of ``(key, run)`` candidates; entries
-are validated against ``H`` on pop, so stale entries cost ``O(log)``
-amortized instead of requiring decrease-key.
+``H`` is one ``D x R`` int64 matrix plus a boolean *alive* mask for
+exhausted chains (keys may occupy the full int64 range, so no in-band
+sentinel exists), and the merger's hot queries — the smallest block on a
+disk, the global minimum, and each run's next on-disk key — are single
+vectorized reductions (``argmin`` over a row, ``min`` over the matrix,
+``min`` over a column) instead of Python loops with lazy heaps.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from typing import Optional
+
+import numpy as np
 
 from ..errors import ScheduleError
 from .job import MergeJob
 
-#: Chain exhausted — sorts after every real key.
+#: Chain exhausted — sorts after every real key (public float view).
 INF = math.inf
+
+#: Filler stored in ``H`` entries whose chain is exhausted.  It is NOT a
+#: reserved key — real keys may equal it — so every reduction consults
+#: the alive mask; the value only makes masked ``np.where`` minima cheap.
+INF_I64 = np.iinfo(np.int64).max
 
 
 class ForecastStructure:
@@ -51,9 +60,9 @@ class ForecastStructure:
         self._first_keys = [job.first_keys[r] for r in range(R)]
         # Chain pointer: next on-disk position within chain (run, disk).
         self._ptr: list[list[int]] = [[0] * D for _ in range(R)]
-        # H[d][r]: key of chain head, INF when the chain is exhausted.
-        self._h: list[list[float]] = [[INF] * R for _ in range(D)]
-        self._heaps: list[list[tuple[float, int]]] = [[] for _ in range(D)]
+        # H[d, r]: key of chain head; _alive[d, r]: chain not exhausted.
+        self._h = np.full((D, R), INF_I64, dtype=np.int64)
+        self._alive = np.zeros((D, R), dtype=bool)
         for r in range(R):
             for d in range(D):
                 self._refresh(r, d)
@@ -77,42 +86,43 @@ class ForecastStructure:
     # -- H maintenance -----------------------------------------------------
 
     def _refresh(self, run: int, disk: int) -> None:
-        """Recompute ``H[disk][run]`` from the chain pointer and enqueue it."""
+        """Recompute ``H[disk, run]`` from the chain pointer."""
         b = self.chain_head_block(run, disk)
-        key = INF if b is None else int(self._first_keys[run][b])
-        self._h[disk][run] = key
-        if key != INF:
-            heapq.heappush(self._heaps[disk], (key, run))
+        if b is None:
+            self._h[disk, run] = INF_I64
+            self._alive[disk, run] = False
+        else:
+            self._h[disk, run] = self._first_keys[run][b]
+            self._alive[disk, run] = True
 
     def head_key(self, disk: int, run: int) -> float:
-        """``H_i[j]`` — the FDS entry itself."""
-        return self._h[disk][run]
+        """``H_i[j]`` — the FDS entry itself (:data:`INF` if exhausted)."""
+        if not self._alive[disk, run]:
+            return INF
+        return int(self._h[disk, run])
 
     def smallest_block_on_disk(self, disk: int) -> Optional[tuple[float, int, int]]:
         """The smallest block on *disk*: ``(key, run, block)`` or ``None``.
 
-        This is the block a ``ParRead`` fetches from *disk*.
+        This is the block a ``ParRead`` fetches from *disk*.  Key ties
+        resolve to the smallest run index (``argmin`` returns the first
+        minimum, matching the old heap's ``(key, run)`` ordering).
         """
-        heap = self._heaps[disk]
-        h = self._h[disk]
-        while heap:
-            key, run = heap[0]
-            if h[run] == key:
-                block = self.chain_head_block(run, disk)
-                if block is None:  # pragma: no cover - defensive
-                    raise ScheduleError("FDS points at an exhausted chain")
-                return key, run, block
-            heapq.heappop(heap)
-        return None
+        idx = np.flatnonzero(self._alive[disk])
+        if idx.size == 0:
+            return None
+        sub = self._h[disk, idx]
+        run = int(idx[sub.argmin()])
+        block = self.chain_head_block(run, disk)
+        if block is None:  # pragma: no cover - defensive
+            raise ScheduleError("FDS points at an exhausted chain")
+        return int(self._h[disk, run]), run, block
 
     def global_min_key(self) -> float:
         """Smallest key of any on-disk block (the ``S_t`` minimum)."""
-        best = INF
-        for d in range(self.n_disks):
-            head = self.smallest_block_on_disk(d)
-            if head is not None and head[0] < best:
-                best = head[0]
-        return best
+        if not self._alive.any():
+            return INF
+        return int(self._h[self._alive].min())
 
     def next_block_key_of_run(self, run: int) -> float:
         """Smallest on-disk key of *run*: ``min_i H_i[run]``.
@@ -121,7 +131,22 @@ class ForecastStructure:
         not-yet-resident leading block (Definition 1's "smallest block
         of the run").
         """
-        return min(self._h[d][run] for d in range(self.n_disks))
+        col = self._alive[:, run]
+        if not col.any():
+            return INF
+        return int(self._h[:, run][col].min())
+
+    def min_keys_per_run(self) -> tuple[np.ndarray, np.ndarray]:
+        """``min_i H_i[j]`` for every run ``j`` in one reduction.
+
+        Returns ``(values, valid)``: an int64 array of per-run minima and
+        a boolean mask of runs with at least one on-disk block.  Entries
+        with ``valid`` unset are filler (:data:`INF_I64` is not a
+        reserved key, so a mask — not a sentinel — signals exhaustion).
+        This is the batched merger's galloping-bound query.
+        """
+        values = np.where(self._alive, self._h, INF_I64).min(axis=0)
+        return values, self._alive.any(axis=0)
 
     # -- transitions ---------------------------------------------------------
 

@@ -37,12 +37,16 @@ from ..disks.counters import IOStats
 from ..disks.files import StripedRun
 from ..disks.system import ParallelDiskSystem
 from ..disks.timing import DISK_1996, DiskTimingModel
-from ..errors import DataError, ScheduleError
+from ..errors import ConfigError, DataError, ScheduleError
 from .config import OverlapConfig
 from .events import OverlapEngine, OverlapReport
 from .job import MergeJob
+from .losertree import merge_loop_batched, merge_loop_cycles
 from .schedule import MergeScheduler, ScheduleStats
 from .writer import RunWriter
+
+#: Recognized internal-merge implementations (see :func:`merge_runs`).
+MERGERS = ("auto", "losertree", "heapq")
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +87,7 @@ def merge_runs(
     free_inputs: bool = True,
     overlap: OverlapConfig | None = None,
     timing: DiskTimingModel | None = None,
+    merger: str = "auto",
 ) -> MergeResult:
     """Merge *runs* into one striped run on *system*.
 
@@ -111,7 +116,17 @@ def merge_runs(
     timing:
         Disk service-time model for the engine (default
         :data:`~repro.disks.timing.DISK_1996`).
+    merger:
+        Internal-merge implementation.  ``"losertree"`` (and the
+        ``"auto"`` default) use the vectorized data plane of
+        :mod:`repro.core.losertree`: block-slice batching on the pure
+        demand path, a cycle-granular loser tree when an overlap engine
+        or eager prefetch paces the merge.  ``"heapq"`` is the original
+        heap loop, kept as the reference/baseline.  All mergers produce
+        identical I/O schedules and identical output records.
     """
+    if merger not in MERGERS:
+        raise ConfigError(f"merger must be one of {MERGERS}, got {merger!r}")
     if len(runs) < 2:
         raise DataError(f"a merge needs at least 2 runs, got {len(runs)}")
     job = MergeJob.from_striped_runs(runs, system.n_disks)
@@ -158,6 +173,57 @@ def merge_runs(
         on_write=eng.on_write if eng is not None else None,
     )
 
+    if merger == "heapq":
+        heap_cycles = _merge_loop_heapq(
+            sched, writer, block_data, runs, system, free_inputs, validate,
+            eng, prefetch,
+        )
+    elif eng is not None or prefetch:
+        heap_cycles = merge_loop_cycles(
+            sched, writer, block_data, runs, system, free_inputs, validate,
+            eng, prefetch,
+        )
+    else:
+        heap_cycles = merge_loop_batched(
+            sched, writer, block_data, runs, system, free_inputs, validate,
+        )
+
+    if not sched.finished():
+        raise ScheduleError("merge loop ended with unexhausted runs")
+    output = writer.finalize()
+    n_records = sum(r.n_records for r in runs)
+    if output.n_records != n_records:
+        raise ScheduleError(
+            f"merged {output.n_records} records, expected {n_records}"
+        )
+    if validate and writer.max_buffered_blocks > 2 * system.n_disks:
+        raise ScheduleError(
+            f"output buffer used {writer.max_buffered_blocks} blocks,"
+            f" exceeding M_W = 2D = {2 * system.n_disks}"
+        )
+    return MergeResult(
+        output=output,
+        schedule=sched.stats(),
+        io=system.stats.since(start_stats),
+        n_records=n_records,
+        heap_cycles=heap_cycles,
+        overlap=eng.finish() if eng is not None else None,
+    )
+
+
+def _merge_loop_heapq(
+    sched: MergeScheduler,
+    writer: RunWriter,
+    block_data: dict,
+    runs: list[StripedRun],
+    system: ParallelDiskSystem,
+    free_inputs: bool,
+    validate: bool,
+    eng: OverlapEngine | None,
+    prefetch: bool,
+) -> int:
+    """The original heap-driven merge loop (reference/baseline merger)."""
+    job = sched.job
     R = job.n_runs
     offsets = [0] * R
     heap: list[tuple[int, int]] = [
@@ -223,28 +289,7 @@ def merge_runs(
             eng.pump(sched)
         elif prefetch:
             sched.maybe_prefetch()
-
-    if not sched.finished():
-        raise ScheduleError("merge loop ended with unexhausted runs")
-    output = writer.finalize()
-    n_records = sum(r.n_records for r in runs)
-    if output.n_records != n_records:
-        raise ScheduleError(
-            f"merged {output.n_records} records, expected {n_records}"
-        )
-    if validate and writer.max_buffered_blocks > 2 * system.n_disks:
-        raise ScheduleError(
-            f"output buffer used {writer.max_buffered_blocks} blocks,"
-            f" exceeding M_W = 2D = {2 * system.n_disks}"
-        )
-    return MergeResult(
-        output=output,
-        schedule=sched.stats(),
-        io=system.stats.since(start_stats),
-        n_records=n_records,
-        heap_cycles=heap_cycles,
-        overlap=eng.finish() if eng is not None else None,
-    )
+    return heap_cycles
 
 
 def _check_forecast(

@@ -118,6 +118,7 @@ def srm_mergesort(
     formation: str = "load_sort",
     overlap: OverlapConfig | None = None,
     timing: DiskTimingModel | None = None,
+    merger: str = "auto",
 ) -> SortResult:
     """Sort *infile* on *system* with SRM; returns the sorted run + stats.
 
@@ -142,6 +143,11 @@ def srm_mergesort(
     timing:
         Disk service-time model for the engine (default
         :data:`~repro.disks.timing.DISK_1996`).
+    merger:
+        Internal-merge implementation for every merge step (see
+        :func:`~repro.core.merge.merge_runs`): ``"auto"``/``"losertree"``
+        for the vectorized data plane, ``"heapq"`` for the reference
+        loop.  All produce identical I/O and output.
     """
     if config.n_disks != system.n_disks or config.block_size != system.block_size:
         raise ConfigError("config geometry does not match the disk system")
@@ -189,6 +195,7 @@ def srm_mergesort(
                 prefetch=prefetch,
                 overlap=overlap,
                 timing=timing,
+                merger=merger,
             )
             next_run_id += 1
             delta = system.stats.since(before)
@@ -233,6 +240,7 @@ def srm_sort(
     payloads: np.ndarray | None = None,
     overlap: OverlapConfig | None = None,
     timing: DiskTimingModel | None = None,
+    merger: str = "auto",
 ) -> tuple[np.ndarray, SortResult]:
     """Convenience: sort a key array on a fresh simulated disk system.
 
@@ -257,5 +265,6 @@ def srm_sort(
         formation=formation,
         overlap=overlap,
         timing=timing,
+        merger=merger,
     )
     return result.peek_sorted(system), result

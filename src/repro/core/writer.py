@@ -8,7 +8,16 @@ stripes as single parallel writes.  SRM's output buffer ``M_W`` holds
 block ``i + D``).  The writer enforces exactly that discipline and
 records its buffer high-water mark so tests can verify the ``2D`` bound.
 
-Records may carry payloads: internally the buffer is a 2-row matrix
+Buffering is a preallocated ring of ``2 x (2·D·B)`` record frames — the
+``M_W`` window plus one spare window, so an append can land while two
+stripes are still materializing.  The read head only ever advances by
+whole ``D·B``-record stripes and the capacity is a multiple of that
+stride, so the current stripe and its lookahead are always *contiguous*
+views into the ring: draining a stripe is zero-copy slicing, where the
+old chunk-list buffer paid a ``pop(0)`` plus ``concatenate`` shuffle per
+stripe.
+
+Records may carry payloads: internally the ring is a 2-row matrix
 (keys; payloads) so both columns flow through identical slicing.
 """
 
@@ -45,10 +54,15 @@ class RunWriter:
         #: Callback invoked after every parallel write with the disks
         #: written (the overlap engine's write-behind hook).
         self.on_write = on_write
-        #: Buffered data as (rows, n) chunks; rows = 1 (keys only) or
-        #: 2 (keys; payloads), fixed by the first append.
-        self._chunks: list[np.ndarray] = []
+        D, B = system.n_disks, system.block_size
+        self._stripe = D * B
+        #: Ring capacity: two M_W windows of 2·D·B records each.
+        self._cap = 4 * D * B
+        #: Ring storage, allocated on first append once the row count
+        #: (keys only, or keys + payloads) is known.
+        self._buf: np.ndarray | None = None
         self._rows: int | None = None
+        self._head = 0  # read position; always a multiple of D·B
         self._pending = 0
         self._next_block = 0
         self._addresses: list = []
@@ -72,6 +86,7 @@ class RunWriter:
         rows = 1 if payloads is None else 2
         if self._rows is None:
             self._rows = rows
+            self._buf = np.empty((rows, self._cap), dtype=np.int64)
         elif self._rows != rows:
             raise DataError("payload presence must be consistent across appends")
         if payloads is not None:
@@ -81,48 +96,49 @@ class RunWriter:
         if self._last_appended is not None and keys[0] < self._last_appended:
             raise DataError("output records appended out of order")
         self._last_appended = int(keys[-1])
-        chunk = (
-            keys[np.newaxis, :]
-            if payloads is None
-            else np.stack([keys, payloads])
-        )
-        self._chunks.append(chunk)
-        self._pending += keys.size
         self._n_records += keys.size
-        D, B = self.system.n_disks, self.system.block_size
-        # Drain: stripe j is writable once stripes j and j+1 are both
-        # fully materialized (2·D·B buffered records).
-        while self._pending >= 2 * D * B:
-            window = self._take_front(2 * D * B, consume=D * B)
-            self._write_stripe(window[:, : D * B], lookahead=window[:, D * B :])
+
+        buf = self._buf
+        cap = self._cap
+        window = 2 * self._stripe
+        pos = 0
+        n = keys.size
+        B = self.system.block_size
+        while pos < n:
+            # Invariant on entry: _pending < 2·D·B, so at least one M_W
+            # window of the ring is free.
+            take = min(n - pos, cap - self._pending)
+            tail = (self._head + self._pending) % cap
+            first = min(take, cap - tail)
+            buf[0, tail : tail + first] = keys[pos : pos + first]
+            if payloads is not None:
+                buf[1, tail : tail + first] = payloads[pos : pos + first]
+            if take > first:
+                wrap = take - first
+                buf[0, :wrap] = keys[pos + first : pos + take]
+                if payloads is not None:
+                    buf[1, :wrap] = payloads[pos + first : pos + take]
+            self._pending += take
+            pos += take
+            # Drain: stripe j is writable once stripes j and j+1 are both
+            # fully materialized (2·D·B buffered records).
+            while self._pending >= window:
+                self._drain_stripe()
         # High-water is measured after draining: a stripe is written the
         # instant it becomes writable, so M_W never holds more than 2D
         # blocks at rest.
         self.max_buffered_blocks = max(self.max_buffered_blocks, -(-self._pending // B))
 
-    def _take_front(self, n: int, consume: int) -> np.ndarray:
-        """Return the first *n* buffered records, consuming *consume*."""
-        parts: list[np.ndarray] = []
-        got = 0
-        for c in self._chunks:
-            need = n - got
-            parts.append(c[:, :need])
-            got += min(c.shape[1], need)
-            if got >= n:
-                break
-        window = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=1)
-        # Consume the first `consume` records from the chunk list.
-        left = consume
-        while left:
-            head = self._chunks[0]
-            if head.shape[1] <= left:
-                left -= head.shape[1]
-                self._chunks.pop(0)
-            else:
-                self._chunks[0] = head[:, left:]
-                left = 0
-        self._pending -= consume
-        return window
+    def _drain_stripe(self) -> None:
+        """Write the stripe at the ring head (zero-copy views)."""
+        stride = self._stripe
+        h = self._head
+        stripe = self._buf[:, h : h + stride]
+        la = (h + stride) % self._cap
+        lookahead = self._buf[:, la : la + stride]
+        self._write_stripe(stripe, lookahead=lookahead)
+        self._head = la
+        self._pending -= stride
 
     # -- emit ----------------------------------------------------------------
 
@@ -158,12 +174,14 @@ class RunWriter:
         self._addresses.append(addr)
         self._first_keys.append(int(data[0, 0]))
         self._last_keys.append(int(data[0, -1]))
+        # Copy out of the ring: the frames behind these views are reused
+        # by later appends, but the Block lives on disk indefinitely.
         block = Block(
-            keys=data[0],
+            keys=data[0].copy(),
             run_id=self.run_id,
             index=index,
             forecast=forecast,
-            payloads=data[1] if data.shape[0] == 2 else None,
+            payloads=data[1].copy() if data.shape[0] == 2 else None,
         )
         return (addr, block)
 
@@ -175,13 +193,18 @@ class RunWriter:
         if self._n_records == 0:
             raise DataError("cannot finalize an empty run")
         D, B = self.system.n_disks, self.system.block_size
-        if not self._chunks:
+        # Linearize the ring tail (at most one wrap) into one matrix.
+        if self._buf is None or self._pending == 0:
             tail = np.empty((self._rows or 1, 0), dtype=np.int64)
-        elif len(self._chunks) == 1:
-            tail = self._chunks[0]
         else:
-            tail = np.concatenate(self._chunks, axis=1)
-        self._chunks = []
+            h, cap, pend = self._head, self._cap, self._pending
+            first = min(pend, cap - h)
+            if first == pend:
+                tail = self._buf[:, h : h + pend]
+            else:
+                tail = np.concatenate(
+                    [self._buf[:, h:cap], self._buf[:, : pend - first]], axis=1
+                )
         self._pending = 0
         # Remaining blocks, the last possibly partial.
         blocks = [tail[:, i : i + B] for i in range(0, tail.shape[1], B)]
@@ -206,6 +229,7 @@ class RunWriter:
         if writes:
             self._emit(writes)
         self._next_block = total_blocks
+        self._buf = None
         return StripedRun(
             run_id=self.run_id,
             start_disk=self.start_disk,

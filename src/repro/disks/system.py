@@ -11,6 +11,7 @@ Addresses are ``(disk, slot)`` pairs (:class:`BlockAddress`).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, NamedTuple, Optional, Sequence
 
 from ..errors import ConfigError, InvalidIOError
@@ -170,13 +171,17 @@ class ParallelDiskSystem:
             Blocks in the order requested, and the parallel reads used.
         """
         addrs = list(addresses)
-        pending: dict[int, list[tuple[int, BlockAddress]]] = {}
+        pending: dict[int, deque[tuple[int, BlockAddress]]] = {}
         for pos, a in enumerate(addrs):
-            pending.setdefault(a.disk, []).append((pos, a))
+            pending.setdefault(a.disk, deque()).append((pos, a))
         out: list[Optional[Block]] = [None] * len(addrs)
         n_ops = 0
         while pending:
-            stripe = [queue.pop() for queue in pending.values()]
+            # FIFO per disk: each disk serves its requests in the order
+            # they were submitted, so a caller streaming a run's blocks
+            # sees them fetched in file order (popping the newest request
+            # first would starve the oldest until its queue drained).
+            stripe = [queue.popleft() for queue in pending.values()]
             pending = {d: q for d, q in pending.items() if q}
             blocks = self.read_stripe([a for _, a in stripe])
             for (pos, _), blk in zip(stripe, blocks):

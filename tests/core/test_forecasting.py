@@ -122,3 +122,60 @@ class TestQueries:
         # fresh key-6 entry; the query must skip the stale ones.
         assert fds.smallest_block_on_disk(0) == (6.0, 0, 3)
         assert fds.head_key(0, 0) == 6.0
+
+
+class TestVectorizedQueries:
+    """The numpy-matrix H backing: batch minima and full-range keys."""
+
+    def test_min_keys_per_run(self):
+        job = make_job(
+            [np.array([10, 11, 12, 13]), np.array([5, 6, 7, 8])],
+            B=2,
+            D=2,
+            starts=[0, 1],
+        )
+        fds = ForecastStructure(job)
+        values, valid = fds.min_keys_per_run()
+        assert valid.tolist() == [True, True]
+        assert values.tolist() == [10, 5]
+
+    def test_min_keys_per_run_tracks_advances(self):
+        job = make_job([np.arange(8), np.arange(100, 108)], B=2, D=2,
+                       starts=[0, 0])
+        fds = ForecastStructure(job)
+        for d in range(2):
+            fds.advance(0, d)
+            fds.advance(0, d)  # run 0 fully consumed
+        values, valid = fds.min_keys_per_run()
+        assert valid.tolist() == [False, True]
+        assert values[1] == 100
+
+    def test_int64_max_is_a_legal_key(self):
+        # INT64_MAX must behave as a real key, not an exhausted-chain
+        # sentinel: exhaustion is signalled by the valid mask alone.
+        hi = np.iinfo(np.int64).max
+        job = make_job(
+            [np.array([hi - 3, hi - 2, hi - 1, hi]), np.array([0, 1, 2, 3])],
+            B=2,
+            D=2,
+            starts=[0, 0],
+        )
+        fds = ForecastStructure(job)
+        values, valid = fds.min_keys_per_run()
+        assert valid.tolist() == [True, True]
+        assert values.tolist() == [hi - 3, 0]
+        assert fds.global_min_key() == 0
+        assert fds.next_block_key_of_run(0) == hi - 3
+        # Exhaust run 1: its mask entry drops, run 0 keeps its real keys.
+        fds.advance(1, 0)
+        fds.advance(1, 1)
+        values, valid = fds.min_keys_per_run()
+        assert valid.tolist() == [True, False]
+        assert fds.next_block_key_of_run(1) == INF
+
+    def test_min_key_tie_prefers_smaller_run(self):
+        job = make_job(
+            [np.array([7, 8]), np.array([7, 9])], B=2, D=1, starts=[0, 0]
+        )
+        fds = ForecastStructure(job)
+        assert fds.smallest_block_on_disk(0) == (7, 0, 0)

@@ -132,3 +132,80 @@ class TestReplacementSelection:
         sys_b, _, file_b = make_input(n=2000, seed=11)
         runs_rs = form_runs_replacement_selection(sys_b, file_b, memory_records=40, rng=1)
         assert len(runs_rs) < len(runs_ls)
+
+
+class TestReplacementSelectionEngines:
+    """engine="block" must be bit-identical to the per-record oracle."""
+
+    def _form(self, keys, M, engine, D=3, B=4, seed=9, payloads=None):
+        system = ParallelDiskSystem(D, B)
+        infile = StripedFile.from_records(system, keys, payloads=payloads)
+        before = system.stats.snapshot()
+        runs = form_runs_replacement_selection(
+            system, infile, M, rng=seed, engine=engine
+        )
+        io = system.stats.since(before)
+        contents = [
+            (
+                a.disk,
+                system.disks[a.disk].read(a.slot).keys.tobytes(),
+                None
+                if payloads is None
+                else system.disks[a.disk].read(a.slot).payloads.tobytes(),
+            )
+            for r in runs
+            for a in r.addresses
+        ]
+        return contents, (
+            io.parallel_reads,
+            io.parallel_writes,
+            io.blocks_read,
+            io.blocks_written,
+        )
+
+    def _assert_engines_agree(self, keys, M, payloads=None, **kw):
+        rec = self._form(keys, M, "record", payloads=payloads, **kw)
+        blk = self._form(keys, M, "block", payloads=payloads, **kw)
+        assert rec == blk
+
+    def test_invalid_engine_rejected(self):
+        system, _, infile = make_input()
+        with pytest.raises(ConfigError):
+            form_runs_replacement_selection(system, infile, 32, engine="gpu")
+
+    def test_random_input(self):
+        keys = np.random.default_rng(0).permutation(5_000).astype(np.int64)
+        self._assert_engines_agree(keys, 400)
+
+    def test_sorted_input(self):
+        self._assert_engines_agree(np.arange(1_000, dtype=np.int64), 100)
+
+    def test_reverse_sorted_input(self):
+        self._assert_engines_agree(
+            np.arange(1_000, dtype=np.int64)[::-1].copy(), 100
+        )
+
+    def test_duplicate_heavy_input(self):
+        keys = np.random.default_rng(1).integers(0, 7, size=3_000).astype(np.int64)
+        self._assert_engines_agree(keys, 250)
+
+    def test_payloads_follow_their_keys(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 40, size=2_000).astype(np.int64)
+        payloads = np.arange(keys.size, dtype=np.int64)
+        self._assert_engines_agree(keys, 180, payloads=payloads)
+
+    def test_tiny_memory(self):
+        keys = np.random.default_rng(3).permutation(500).astype(np.int64)
+        self._assert_engines_agree(keys, 1)
+        self._assert_engines_agree(keys, 2)
+
+    def test_memory_larger_than_input(self):
+        keys = np.random.default_rng(4).permutation(100).astype(np.int64)
+        self._assert_engines_agree(keys, 5_000)
+
+    def test_block_engine_is_default(self):
+        system, keys, infile = make_input(n=400)
+        runs = form_runs_replacement_selection(system, infile, 64, rng=1)
+        got = np.concatenate([r.read_all(system) for r in runs])
+        assert np.array_equal(np.sort(got), np.sort(keys))

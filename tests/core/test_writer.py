@@ -148,3 +148,91 @@ class TestIOAndBuffering:
         assert run.n_records == 1
         assert run.n_blocks == 1
         assert system.stats.parallel_writes == 1
+
+
+class TestRingBuffer:
+    """The preallocated ring must be invisible: same blocks, same format."""
+
+    def _format_oracle(self, D, B, keys, payloads=None):
+        """Blocks produced by StripedRun.from_sorted_keys (the format oracle)."""
+        from repro.disks import StripedRun
+
+        sys_a = ParallelDiskSystem(D, B)
+        run = StripedRun.from_sorted_keys(sys_a, keys, 0, 0, payloads=payloads)
+        return [sys_a.disks[a.disk].read(a.slot) for a in run.addresses]
+
+    @pytest.mark.parametrize("chunk", [1, 3, 7, 16, 64, 1000])
+    def test_wrap_preserves_contents_and_forecasts(self, chunk):
+        # Enough records to wrap the 4·D·B ring several times.
+        D, B, n = 3, 4, 4 * 3 * 4 * 5 + 7  # partial final stripe too
+        keys = np.arange(n, dtype=np.int64)
+        system = ParallelDiskSystem(D, B)
+        w = RunWriter(system, 0, 0)
+        for i in range(0, n, chunk):
+            w.append(keys[i : i + chunk])
+        run = w.finalize()
+        got = [system.disks[a.disk].read(a.slot) for a in run.addresses]
+        want = self._format_oracle(D, B, keys)
+        assert len(got) == len(want)
+        for x, y in zip(want, got):
+            assert np.array_equal(x.keys, y.keys)
+            assert x.forecast == y.forecast  # implants survive the wrap
+
+    def test_blocks_do_not_alias_ring_frames(self):
+        # Emitted blocks must own their arrays: later appends reuse the
+        # ring frames and would otherwise corrupt already-written blocks.
+        D, B = 2, 2
+        n = 4 * D * B * 3
+        system = ParallelDiskSystem(D, B)
+        w = RunWriter(system, 0, 0)
+        keys = np.arange(n, dtype=np.int64)
+        for i in range(0, n, D * B):
+            w.append(keys[i : i + D * B])
+        run = w.finalize()
+        out = np.concatenate(
+            [system.disks[a.disk].read(a.slot).keys for a in run.addresses]
+        )
+        assert np.array_equal(out, keys)
+
+    def test_partial_final_stripe_with_payloads(self):
+        D, B = 3, 2
+        n = 2 * D * B + 3  # two full stripes + a ragged tail
+        keys = np.arange(n, dtype=np.int64)
+        payloads = keys * 10 + 1
+        system = ParallelDiskSystem(D, B)
+        w = RunWriter(system, 0, 0)
+        for i in range(0, n, 5):
+            w.append(keys[i : i + 5], payloads[i : i + 5])
+        run = w.finalize()
+        assert w.max_buffered_blocks <= 2 * D
+        blocks = [system.disks[a.disk].read(a.slot) for a in run.addresses]
+        assert np.array_equal(np.concatenate([b.keys for b in blocks]), keys)
+        assert np.array_equal(
+            np.concatenate([b.payloads for b in blocks]), payloads
+        )
+        want = self._format_oracle(D, B, keys, payloads=payloads)
+        for x, y in zip(want, blocks):
+            assert x.forecast == y.forecast
+
+    def test_high_water_stays_2d_under_large_appends(self):
+        # Appends far larger than the M_W window must still drain stripe
+        # by stripe, never holding more than 2D blocks at rest.
+        D, B = 4, 8
+        system = ParallelDiskSystem(D, B)
+        w = RunWriter(system, 0, 0)
+        w.append(np.arange(50 * D * B, dtype=np.int64))
+        w.finalize()
+        assert w.max_buffered_blocks <= 2 * D
+
+    def test_payload_mismatch_rejected(self):
+        system = ParallelDiskSystem(2, 2)
+        w = RunWriter(system, 0, 0)
+        with pytest.raises(DataError):
+            w.append(np.arange(4), np.arange(3))
+
+    def test_payload_presence_must_be_consistent(self):
+        system = ParallelDiskSystem(2, 2)
+        w = RunWriter(system, 0, 0)
+        w.append(np.arange(4), np.arange(4))
+        with pytest.raises(DataError):
+            w.append(np.arange(4, 8))

@@ -113,6 +113,37 @@ class TestReadBatch:
         blocks, _ = sys.read_batch(addrs)
         assert [b.first_key for b in blocks] == list(range(10))
 
+
+    def test_fifo_service_order_per_disk(self):
+        """Each disk serves its queued requests oldest-first.
+
+        Regression test: the stripe packer used to ``pop()`` the *newest*
+        pending request per disk (LIFO), so a caller streaming a file's
+        blocks saw the tail of each disk's queue fetched first.  The
+        per-op service order is observed by tracing ``read_stripe``.
+        """
+        sys = system(D=2)
+        addrs = []
+        for i in range(6):  # three requests per disk, submission order 0..5
+            a = sys.allocate(i % 2)
+            sys.write_stripe([(a, blk(i))])
+            addrs.append(a)
+        ops: list[list[int]] = []
+        real = sys.read_stripe
+
+        def spy(stripe):
+            blocks = real(stripe)
+            ops.append([int(b.first_key) for b in blocks if b is not None])
+            return blocks
+
+        sys.read_stripe = spy
+        blocks, n_ops = sys.read_batch(addrs)
+        assert n_ops == 3
+        # Op t must carry the t-th submitted request of each disk:
+        # (0,1) then (2,3) then (4,5) -- not (4,5),(2,3),(0,1).
+        assert [sorted(op) for op in ops] == [[0, 1], [2, 3], [4, 5]]
+        assert [b.first_key for b in blocks] == list(range(6))
+
     def test_empty_batch(self):
         sys = system()
         blocks, ops = sys.read_batch([])
