@@ -32,6 +32,8 @@ Subpackages
     Average-case and adversarial input generators.
 ``repro.verify``
     Sortedness/permutation/on-disk-format checks.
+``repro.telemetry``
+    Metrics registry, phase spans, JSONL traces, ``repro inspect``.
 """
 
 from ._version import __version__
@@ -62,6 +64,12 @@ from .disks import (
     StripedRun,
 )
 from .sorting import ExternalSortStats, external_sort, external_sort_records
+from .telemetry import (
+    MetricsRegistry,
+    RunReport,
+    Telemetry,
+    TELEMETRY_OFF,
+)
 from .errors import (
     ConfigError,
     DataError,
@@ -109,4 +117,8 @@ __all__ = [
     "ExternalSortStats",
     "external_sort",
     "external_sort_records",
+    "MetricsRegistry",
+    "RunReport",
+    "Telemetry",
+    "TELEMETRY_OFF",
 ]

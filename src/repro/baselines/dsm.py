@@ -27,6 +27,20 @@ from ..disks.system import BlockAddress, ParallelDiskSystem
 from ..errors import ConfigError, DataError
 from ..rng import RngLike
 from ..core.config import DSMConfig
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import (
+    H_DRAIN_BATCH,
+    H_READ_WIDTH,
+    H_RUN_LENGTH,
+    MERGE_DRAIN_CYCLES,
+    SPAN_MERGE,
+    SPAN_MERGE_PASS,
+    SPAN_RUN_FORMATION,
+    SPAN_SORT,
+    batch_edges,
+    read_width_edges,
+    run_length_edges,
+)
 
 
 @dataclass
@@ -155,7 +169,13 @@ class DSMSortResult:
 class _SuperblockReader:
     """Streams one run superblock-by-superblock (1 parallel I/O each)."""
 
-    def __init__(self, system: ParallelDiskSystem, run: SuperblockRun, free: bool):
+    def __init__(
+        self,
+        system: ParallelDiskSystem,
+        run: SuperblockRun,
+        free: bool,
+        telemetry=None,
+    ):
         self.system = system
         self.run = run
         self.free = free
@@ -163,6 +183,11 @@ class _SuperblockReader:
         self.data: np.ndarray | None = None
         self.pay: np.ndarray | None = None
         self.offset = 0
+        self.stripe_reads = 0
+        tel = telemetry if telemetry is not None else TELEMETRY_OFF
+        self._h_width = tel.histogram(
+            H_READ_WIDTH, read_width_edges(system.n_disks)
+        )
         self._load()
 
     def _load(self) -> None:
@@ -172,6 +197,8 @@ class _SuperblockReader:
             return
         stripe = self.run.stripes[self.next_stripe]
         blocks = self.system.read_stripe(stripe)
+        self.stripe_reads += 1
+        self._h_width.observe(len(stripe))
         if self.free:
             for addr in stripe:
                 self.system.free(addr)
@@ -277,22 +304,50 @@ def merge_superblock_runs(
     runs: list[SuperblockRun],
     output_run_id: int,
     free_inputs: bool = True,
+    telemetry=None,
 ) -> SuperblockRun:
     """Merge superblock runs the DSM way (single-disk logic on stripes)."""
     if len(runs) < 2:
         raise DataError(f"a merge needs at least 2 runs, got {len(runs)}")
-    readers = [_SuperblockReader(system, r, free_inputs) for r in runs]
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    n_blocks = sum(len(s) for r in runs for s in r.stripes)
+    span = tel.span(
+        SPAN_MERGE,
+        system=system,
+        n_runs=len(runs),
+        n_blocks=n_blocks,
+        n_disks=system.n_disks,
+    )
+    h_batch = tel.histogram(H_DRAIN_BATCH, batch_edges(system.block_size))
+    m_cycles = tel.counter(MERGE_DRAIN_CYCLES)
+    readers = [
+        _SuperblockReader(system, r, free_inputs, telemetry=telemetry)
+        for r in runs
+    ]
     writer = _SuperblockWriter(system, output_run_id)
     heap = [(rd.current_key(), i) for i, rd in enumerate(readers)]
     heapq.heapify(heap)
+    cycles = 0
     while heap:
         _, i = heapq.heappop(heap)
         limit = heap[0][0] if heap else None
         out, out_pay = readers[i].consume_until(limit)
         writer.append(out, out_pay)
+        h_batch.observe(out.size)
+        cycles += 1
         if not readers[i].exhausted:
             heapq.heappush(heap, (readers[i].current_key(), i))
-    return writer.finalize()
+    m_cycles.inc(cycles)
+    result = writer.finalize()
+    # DSM's reads are all demand stripe reads; report them through the
+    # same attribute the SRM merge span uses so inspect's per-merge
+    # table covers both algorithms.
+    span.set(
+        merge_parreads=sum(rd.stripe_reads for rd in readers),
+        heap_cycles=cycles,
+    )
+    span.close()
+    return result
 
 
 def dsm_mergesort(
@@ -300,6 +355,7 @@ def dsm_mergesort(
     infile: StripedFile,
     config: DSMConfig,
     run_length: int | None = None,
+    telemetry=None,
 ) -> DSMSortResult:
     """Sort *infile* with DSM; returns the sorted run and I/O accounting.
 
@@ -313,11 +369,24 @@ def dsm_mergesort(
     if infile.n_records == 0:
         raise ConfigError("cannot sort an empty file")
     start_stats = system.stats.snapshot()
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
     length = run_length if run_length is not None else config.memory_records
     B = system.block_size
     blocks_per_run = max(1, length // B)
     if length < B:
         raise ConfigError(f"run length {length} smaller than one block (B={B})")
+
+    sort_span = tel.span(
+        SPAN_SORT,
+        system=system,
+        n_records=infile.n_records,
+        n_disks=system.n_disks,
+        block_size=B,
+        merge_order=config.merge_order,
+        formation="load_sort",
+    )
+    rf_span = tel.span(SPAN_RUN_FORMATION, system=system, run_length=length)
+    h_len = tel.histogram(H_RUN_LENGTH, run_length_edges(length))
 
     # Run formation: memory loads, sorted, written as superblock runs.
     runs: list[SuperblockRun] = []
@@ -336,7 +405,10 @@ def dsm_mergesort(
             keys.sort(kind="stable")
         for addr in chunk:
             system.free(addr)
+        h_len.observe(keys.size)
         runs.append(write_superblock_run(system, keys, run_id=i, payloads=payloads))
+    rf_span.set(runs_formed=len(runs))
+    rf_span.close()
 
     result = DSMSortResult(
         output=runs[0],
@@ -352,15 +424,27 @@ def dsm_mergesort(
         pass_index += 1
         before = system.stats.snapshot()
         groups = [runs[i : i + R] for i in range(0, len(runs), R)]
+        pass_span = tel.span(
+            SPAN_MERGE_PASS,
+            system=system,
+            pass_index=pass_index,
+            n_runs_in=len(runs),
+        )
         out_runs: list[SuperblockRun] = []
         n_merges = 0
         for group in groups:
             if len(group) == 1:
                 out_runs.append(group[0])
                 continue
-            out_runs.append(merge_superblock_runs(system, group, next_run_id))
+            out_runs.append(
+                merge_superblock_runs(
+                    system, group, next_run_id, telemetry=telemetry
+                )
+            )
             next_run_id += 1
             n_merges += 1
+        pass_span.set(n_merges=n_merges, n_runs_out=len(out_runs))
+        pass_span.close()
         delta = system.stats.since(before)
         result.passes.append(
             DSMPassStats(
@@ -377,6 +461,10 @@ def dsm_mergesort(
     result.output = runs[0]
     result.system = system
     result.io = system.stats.since(start_stats)
+    sort_span.set(
+        runs_formed=result.runs_formed, n_merge_passes=result.n_merge_passes
+    )
+    sort_span.close()
     return result
 
 
@@ -385,6 +473,7 @@ def dsm_sort(
     config: DSMConfig,
     run_length: int | None = None,
     payloads: np.ndarray | None = None,
+    telemetry=None,
 ) -> tuple[np.ndarray, DSMSortResult]:
     """Convenience: DSM-sort a key array on a fresh simulated system."""
     keys = np.asarray(keys, dtype=np.int64)
@@ -392,5 +481,7 @@ def dsm_sort(
         return keys.copy(), None  # type: ignore[return-value]
     system = ParallelDiskSystem(config.n_disks, config.block_size)
     infile = StripedFile.from_records(system, keys, payloads=payloads)
-    result = dsm_mergesort(system, infile, config, run_length=run_length)
+    result = dsm_mergesort(
+        system, infile, config, run_length=run_length, telemetry=telemetry
+    )
     return result.peek_sorted(system), result

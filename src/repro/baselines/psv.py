@@ -33,6 +33,17 @@ from ..disks.counters import IOStats
 from ..disks.files import StripedFile
 from ..disks.system import BlockAddress, ParallelDiskSystem
 from ..errors import ConfigError, DataError
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import (
+    H_READ_WIDTH,
+    H_RUN_LENGTH,
+    SPAN_MERGE,
+    SPAN_MERGE_PASS,
+    SPAN_RUN_FORMATION,
+    SPAN_SORT,
+    read_width_edges,
+    run_length_edges,
+)
 
 
 @dataclass
@@ -126,6 +137,7 @@ def psv_merge(
     runs: list[SingleDiskRun],
     buffer_blocks_per_run: int,
     free_inputs: bool = True,
+    telemetry=None,
 ) -> PSVMergeResult:
     """Merge one-per-disk runs with stripe reads and per-run buffers.
 
@@ -144,6 +156,15 @@ def psv_merge(
         raise ConfigError("need at least one buffer block per run")
 
     start = system.stats.snapshot()
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    span = tel.span(
+        SPAN_MERGE,
+        system=system,
+        n_runs=len(runs),
+        n_blocks=sum(r.n_blocks for r in runs),
+        n_disks=system.n_disks,
+    )
+    h_width = tel.histogram(H_READ_WIDTH, read_width_edges(system.n_disks))
     n = len(runs)
     next_block = [0] * n
     buffers: list[list[np.ndarray]] = [[] for _ in range(n)]
@@ -168,6 +189,7 @@ def psv_merge(
         if not stripe:
             return
         blocks = system.read_stripe(stripe)
+        h_width.observe(len(stripe))
         for j, blk in zip(targets, blocks):
             if free_inputs:
                 system.free(runs[j].addresses[next_block[j]])
@@ -247,6 +269,8 @@ def psv_merge(
 
     delta = system.stats.since(start)
     out_records = total_records
+    span.set(merge_parreads=delta.parallel_reads)
+    span.close()
     return PSVMergeResult(
         output=StripedFile(
             addresses=out_addresses, n_records=out_records, block_size=B
@@ -288,6 +312,7 @@ def psv_mergesort(
     infile: StripedFile,
     run_length: int,
     buffer_blocks_per_run: int = 4,
+    telemetry=None,
 ) -> PSVSortResult:
     """Full PSV-style sort: D-way merges with transposition passes.
 
@@ -305,6 +330,18 @@ def psv_mergesort(
     if run_length < B:
         raise ConfigError(f"run length {run_length} smaller than one block")
     start = system.stats.snapshot()
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    sort_span = tel.span(
+        SPAN_SORT,
+        system=system,
+        n_records=infile.n_records,
+        n_disks=D,
+        block_size=B,
+        merge_order=D,
+        formation="load_sort",
+    )
+    rf_span = tel.span(SPAN_RUN_FORMATION, system=system, run_length=run_length)
+    h_len = tel.histogram(H_RUN_LENGTH, run_length_edges(run_length))
 
     # Run formation straight onto single disks, D at a time.
     sorted_chunks: list[np.ndarray] = []
@@ -315,7 +352,10 @@ def psv_mergesort(
         keys.sort(kind="stable")
         for addr in chunk:
             system.free(addr)
+        h_len.observe(keys.size)
         sorted_chunks.append(keys)
+    rf_span.set(runs_formed=len(sorted_chunks))
+    rf_span.close()
 
     result = PSVSortResult(
         output=infile,  # placeholder
@@ -333,6 +373,12 @@ def psv_mergesort(
     while len(level) > 1:
         next_level: list[tuple[str, object]] = []
         transposed = False
+        pass_span = tel.span(
+            SPAN_MERGE_PASS,
+            system=system,
+            pass_index=result.n_merge_passes + 1,
+            n_runs_in=len(level),
+        )
         for g in range(0, len(level), D):
             group = level[g : g + D]
             if len(group) == 1:
@@ -351,11 +397,15 @@ def psv_mergesort(
                     transposed = True
             runs = write_single_disk_runs_parallel(system, arrays, run_id)
             run_id += len(arrays)
-            mres = psv_merge(system, runs, buffer_blocks_per_run)
+            mres = psv_merge(
+                system, runs, buffer_blocks_per_run, telemetry=telemetry
+            )
             next_level.append(("striped", mres.output))
         result.n_merge_passes += 1
         if transposed:
             result.n_transpositions += 1
+        pass_span.set(n_runs_out=len(next_level), transposed=transposed)
+        pass_span.close()
         level = next_level
 
     kind, item = level[0]
@@ -381,4 +431,10 @@ def psv_mergesort(
         )
     result.io = system.stats.since(start)
     result.system = system
+    sort_span.set(
+        runs_formed=result.runs_formed,
+        n_merge_passes=result.n_merge_passes,
+        n_transpositions=result.n_transpositions,
+    )
+    sort_span.close()
     return result

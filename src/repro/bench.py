@@ -35,6 +35,14 @@ from .core.writer import RunWriter
 from .disks.files import StripedFile
 from .disks.system import ParallelDiskSystem
 from .errors import DataError
+from .telemetry import Telemetry
+from .telemetry.schema import (
+    SCHED_BLOCKS_FLUSHED,
+    SCHED_FLUSH_OPS,
+    SCHED_INITIAL_READS,
+    SCHED_MERGE_PARREADS,
+    SCHEMA_VERSION,
+)
 from .workloads import uniform_permutation
 
 #: Default scales: quick mode for CI smoke, full mode for the committed
@@ -195,6 +203,68 @@ def bench_writer(n_records: int, n_disks: int = 4, block_size: int = 64,
     }
 
 
+def bench_telemetry(n_records: int, k: int = 4, n_disks: int = 4,
+                    block_size: int = 64, seed: int = 2,
+                    repeats: int = 3) -> dict:
+    """One telemetry-enabled sort: registry snapshot + enable overhead.
+
+    The registry's canonical schema names (``sched.*``) are the same
+    quantities :class:`~repro.core.schedule.ScheduleStats` reports, so
+    the two accountings are cross-checked here — a drift between
+    ``MergeScheduler.stats()`` and the metrics layer fails the bench.
+    The disabled-mode wall-clock sits next to the enabled one so the
+    near-zero-overhead claim is a measured number, not a promise.
+    """
+    keys = uniform_permutation(n_records, rng=seed)
+    cfg = SRMConfig.from_k(k, n_disks, block_size)
+    # Best-of-N per mode: a single sort is ~0.3 s, where scheduler noise
+    # alone swings +-10%; the min is the honest cost floor of each mode.
+    wall_off = min(
+        _time(lambda: srm_sort(keys, cfg, rng=seed + 1))[0]
+        for _ in range(repeats)
+    )
+    wall_on = float("inf")
+    tel = res = None
+    for _ in range(repeats):
+        t = Telemetry(
+            algo="srm", n_records=n_records, n_disks=n_disks,
+            block_size=block_size, merge_order=cfg.merge_order, seed=seed,
+        )
+        wall, (_, r) = _time(
+            lambda t=t: srm_sort(keys, cfg, rng=seed + 1, telemetry=t)
+        )
+        if wall < wall_on:
+            wall_on, tel, res = wall, t, r
+    tel.finish()
+    snap = tel.registry.snapshot()
+    expected = {
+        SCHED_INITIAL_READS: sum(s.initial_reads for s in res.merge_schedules),
+        SCHED_MERGE_PARREADS: sum(s.merge_parreads for s in res.merge_schedules),
+        SCHED_FLUSH_OPS: sum(s.flush_ops for s in res.merge_schedules),
+        SCHED_BLOCKS_FLUSHED: sum(s.blocks_flushed for s in res.merge_schedules),
+    }
+    for name, want in expected.items():
+        got = snap[name]["value"]
+        if got != want:
+            raise DataError(
+                f"telemetry drift: registry {name}={got} != "
+                f"ScheduleStats sum {want}"
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "wall_s_disabled": round(wall_off, 6),
+        "wall_s_enabled": round(wall_on, 6),
+        "enable_overhead_frac": round(wall_on / wall_off - 1.0, 4),
+        "counters": {name: snap[name]["value"] for name in sorted(expected)},
+        "n_metrics": len(snap),
+        "consistent_with_schedule_stats": True,  # asserted above
+        "params": {
+            "n_records": n_records, "k": k, "n_disks": n_disks,
+            "block_size": block_size, "seed": seed,
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run the full harness; returns the JSON-ready report."""
     scale = QUICK if quick else FULL
@@ -206,6 +276,7 @@ def run_benchmarks(quick: bool = False) -> dict:
             scale["rs_records"], scale["rs_memory"]
         ),
         "writer": bench_writer(scale["writer_records"]),
+        "telemetry": bench_telemetry(scale["merge_records"]),
     }
     return report
 
@@ -237,6 +308,9 @@ def main(argv: list[str] | None = None) -> int:
           f"  record {rs['record']['records_per_sec']:>10,} rec/s"
           f"  speedup {rs['speedup']:.2f}x")
     print(f"writer        {report['writer']['records_per_sec']:>10,} rec/s")
+    t = report["telemetry"]
+    print(f"telemetry     enable overhead {t['enable_overhead_frac']*100:+.1f}%"
+          f"  ({t['n_metrics']} metrics, schema {t['schema']})")
     print(f"report -> {args.out}")
 
     ok = True

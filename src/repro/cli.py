@@ -8,6 +8,8 @@ Usage::
     python -m repro table4 [--blocks-per-run L] [--block-size B]
     python -m repro figure1
     python -m repro sort --n 100000 --disks 4 --block 64 --k 4 [--dsm]
+    python -m repro sort --telemetry run.jsonl
+    python -m repro inspect run.jsonl [--check]
     python -m repro bench [--quick] [--out BENCH_sort_throughput.json]
     python -m repro demo
 
@@ -43,6 +45,7 @@ from .core import (
     srm_sort,
 )
 from .baselines import dsm_sort
+from .telemetry import RunReport, Telemetry
 from .workloads import uniform_permutation
 
 #: Paper-scale Table 3 run length (blocks per run).
@@ -107,18 +110,33 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             prefetch_depth=args.prefetch_depth,
             cpu_us_per_record=args.cpu_us,
         )
+    telemetry = None
+    if args.telemetry is not None:
+        telemetry = Telemetry(
+            algo="dsm" if args.dsm else "srm",
+            n_records=args.n,
+            n_disks=args.disks,
+            block_size=args.block,
+            seed=args.seed,
+        )
     t0 = time.perf_counter()
     if args.dsm:
         cfg = DSMConfig.matching_srm(
             SRMConfig.from_k(args.k, args.disks, args.block)
         )
-        out, res = dsm_sort(keys, cfg)
+        out, res = dsm_sort(keys, cfg, telemetry=telemetry)
         name = "DSM"
     else:
         cfg = SRMConfig.from_k(args.k, args.disks, args.block)
-        out, res = srm_sort(keys, cfg, rng=args.seed, overlap=overlap)
+        out, res = srm_sort(
+            keys, cfg, rng=args.seed, overlap=overlap, telemetry=telemetry
+        )
         name = "SRM"
     dt = time.perf_counter() - t0
+    if telemetry is not None:
+        telemetry.set_meta(merge_order=cfg.merge_order)
+        telemetry.finish()
+        telemetry.write_jsonl(args.telemetry)
     ok = bool(np.array_equal(out, np.sort(keys)))
     print(f"{name}: sorted {args.n} records on D={args.disks}, B={args.block}, "
           f"R={cfg.merge_order} in {dt:.2f}s  (correct: {ok})")
@@ -137,6 +155,20 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         print(f"    cpu stall {stall:.0f} ms, eager reads {eager}, "
               f"demand reads {demand}, mean disk utilization {util:.2f}")
     return 0 if ok else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    report = RunReport.from_jsonl(args.trace)
+    print(report.render())
+    if args.check:
+        failures = report.check()
+        if failures:
+            print("\ncheck FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\ncheck passed")
+    return 0
 
 
 def _cmd_records(args: argparse.Namespace) -> int:
@@ -275,7 +307,20 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--cpu-us", type=float, default=1.0,
                    help="merge CPU cost per record in microseconds "
                    "(with --overlap)")
+    s.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="capture a structured JSONL trace to PATH "
+                   "(render it with 'repro inspect PATH')")
     s.set_defaults(func=_cmd_sort)
+
+    ins = sub.add_parser(
+        "inspect",
+        help="render a telemetry JSONL trace as a per-phase run report",
+    )
+    ins.add_argument("trace", help="JSONL file written by sort --telemetry")
+    ins.add_argument("--check", action="store_true",
+                     help="exit 1 unless paper-bound assertions hold "
+                     "(Theorem-1 read overhead, §5.4 flush occupancy)")
+    ins.set_defaults(func=_cmd_inspect)
 
     r = sub.add_parser("records", help="stable key+payload record sort demo")
     r.add_argument("--n", type=int, default=50_000)

@@ -34,6 +34,8 @@ from typing import TYPE_CHECKING
 from ..disks.service import ServiceNetwork
 from ..disks.timing import DiskTimingModel
 from ..errors import ConfigError
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import EV_OVERLAP_DISKS, H_OVERLAP_QUEUE_DEPTH
 from .config import OVERLAP_MODES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -130,6 +132,7 @@ class OverlapEngine:
         cpu_us_per_record: float,
         mode: str = "full",
         prefetch_depth: int = 2,
+        telemetry=None,
     ) -> None:
         if mode not in OVERLAP_MODES:
             raise ConfigError(
@@ -159,6 +162,14 @@ class OverlapEngine:
         #: Completion time of the newest in-flight write-behind stripe.
         self._write_done = 0.0
         self._eager_issue = False  # set by pump() around maybe_prefetch()
+        self._tel = telemetry if telemetry is not None else TELEMETRY_OFF
+        # Queue depth is in-flight blocks; the window holds at most
+        # prefetch_depth * D of them, so one bucket per possible depth.
+        depth_cap = max(1, self._window)
+        self._h_depth = self._tel.histogram(
+            H_OVERLAP_QUEUE_DEPTH,
+            tuple(float(v) for v in range(0, depth_cap + 1)),
+        )
 
     # -- scheduler callbacks ---------------------------------------------
 
@@ -173,6 +184,7 @@ class OverlapEngine:
             self.eager_reads += 1
         else:
             self.demand_reads += 1
+        self._h_depth.observe(len(self._arrival))
 
     def on_flush(self, evicted: list[tuple[int, int]]) -> None:
         """Flushed blocks leave memory; forget their arrivals."""
@@ -237,6 +249,11 @@ class OverlapEngine:
     def finish(self) -> OverlapReport:
         """Drain outstanding I/O and report the simulated timings."""
         makespan = max(self.now, self._write_done, self.net.latest_completion_ms)
+        self._tel.event(
+            EV_OVERLAP_DISKS,
+            makespan_ms=makespan,
+            disks=self.net.per_disk_summary(),
+        )
         return OverlapReport(
             mode=self.mode,
             prefetch_depth=self.prefetch_depth,

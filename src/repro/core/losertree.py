@@ -37,6 +37,8 @@ import numpy as np
 
 from ..disks.block import NO_KEY
 from ..errors import ScheduleError
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import H_DRAIN_BATCH, MERGE_DRAIN_CYCLES, batch_edges
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..disks.files import StripedRun
@@ -155,6 +157,7 @@ def merge_loop_cycles(
     validate: bool,
     eng: "OverlapEngine | None",
     prefetch: bool,
+    telemetry=None,
 ) -> int:
     """One key range per cycle, exactly like the heapq loop.
 
@@ -168,6 +171,9 @@ def merge_loop_cycles(
     R = job.n_runs
     offsets = [0] * R
     tree = LoserTree([int(job.first_keys[r][0]) for r in range(R)])
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    h_batch = tel.histogram(H_DRAIN_BATCH, batch_edges(system.block_size))
+    m_cycles = tel.counter(MERGE_DRAIN_CYCLES)
     cycles = 0
     while True:
         key = tree.winner_key()
@@ -196,6 +202,7 @@ def merge_loop_cycles(
                 # back to this run; consume the whole equal prefix.
                 hi = int(np.searchsorted(data, key, side="right"))
         writer.append(data[off:hi], None if pay is None else pay[off:hi])
+        h_batch.observe(hi - off)
         if eng is not None:
             eng.compute(hi - off)
 
@@ -226,6 +233,7 @@ def merge_loop_cycles(
             eng.pump(sched)
         elif prefetch:
             sched.maybe_prefetch()
+    m_cycles.inc(cycles)
     return cycles
 
 
@@ -242,6 +250,7 @@ def merge_loop_batched(
     system: "ParallelDiskSystem",
     free_inputs: bool,
     validate: bool,
+    telemetry=None,
 ) -> int:
     """Drain whole resident block slices between consecutive ``ParRead``\\ s.
 
@@ -261,6 +270,9 @@ def merge_loop_batched(
     fds = sched.fds
     n_blocks = [job.blocks_in_run(r) for r in range(R)]
     offsets = [0] * R
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    h_batch = tel.histogram(H_DRAIN_BATCH, batch_edges(system.block_size))
+    m_cycles = tel.counter(MERGE_DRAIN_CYCLES)
     cycles = 0
     while not sched.finished():
         bounds, valid = fds.min_keys_per_run()
@@ -339,6 +351,7 @@ def merge_loop_batched(
                 np.concatenate(seg_pays)[order] if seg_pays is not None else None
             )
         writer.append(merged_keys, merged_pays)
+        h_batch.observe(merged_keys.size)
 
         # Fire depletions in consumption order: (last key, run, block)
         # sorts each run's blocks in sequence and interleaves runs the
@@ -349,4 +362,5 @@ def merge_loop_batched(
             if free_inputs:
                 system.free(runs[r].addresses[b])
             sched.on_leading_depleted(r)
+    m_cycles.inc(cycles)
     return cycles

@@ -38,6 +38,8 @@ from ..disks.files import StripedRun
 from ..disks.system import ParallelDiskSystem
 from ..disks.timing import DISK_1996, DiskTimingModel
 from ..errors import ConfigError, DataError, ScheduleError
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import SPAN_MERGE
 from .config import OverlapConfig
 from .events import OverlapEngine, OverlapReport
 from .job import MergeJob
@@ -88,6 +90,7 @@ def merge_runs(
     overlap: OverlapConfig | None = None,
     timing: DiskTimingModel | None = None,
     merger: str = "auto",
+    telemetry=None,
 ) -> MergeResult:
     """Merge *runs* into one striped run on *system*.
 
@@ -116,6 +119,12 @@ def merge_runs(
     timing:
         Disk service-time model for the engine (default
         :data:`~repro.disks.timing.DISK_1996`).
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` instance; when given, the
+        merge runs inside a ``merge`` span carrying scheduler counts and
+        (for engine-driven merges) the overlap report, and the hot-path
+        histograms (read width, flush occupancy, drain batch size) fill
+        the shared registry.  ``None`` uses the zero-overhead null layer.
     merger:
         Internal-merge implementation.  ``"losertree"`` (and the
         ``"auto"`` default) use the vectorized data plane of
@@ -131,6 +140,14 @@ def merge_runs(
         raise DataError(f"a merge needs at least 2 runs, got {len(runs)}")
     job = MergeJob.from_striped_runs(runs, system.n_disks)
     start_stats = system.stats.snapshot()
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    span = tel.span(
+        SPAN_MERGE,
+        system=system,
+        n_runs=len(runs),
+        n_blocks=job.n_blocks,
+        n_disks=system.n_disks,
+    )
 
     eng: OverlapEngine | None = None
     if overlap is not None:
@@ -141,6 +158,7 @@ def merge_runs(
             overlap.cpu_us_per_record,
             mode=overlap.mode,
             prefetch_depth=overlap.prefetch_depth,
+            telemetry=telemetry,
         )
 
     # Resident block contents: (keys, payloads-or-None).
@@ -164,13 +182,20 @@ def merge_runs(
         if eng is not None:
             eng.on_flush(evicted)
 
-    sched = MergeScheduler(job, validate=validate, on_read=on_read, on_flush=on_flush)
+    sched = MergeScheduler(
+        job,
+        validate=validate,
+        on_read=on_read,
+        on_flush=on_flush,
+        telemetry=telemetry,
+    )
     sched.initial_load()
     writer = RunWriter(
         system,
         output_run_id,
         output_start_disk,
         on_write=eng.on_write if eng is not None else None,
+        telemetry=telemetry,
     )
 
     if merger == "heapq":
@@ -181,11 +206,12 @@ def merge_runs(
     elif eng is not None or prefetch:
         heap_cycles = merge_loop_cycles(
             sched, writer, block_data, runs, system, free_inputs, validate,
-            eng, prefetch,
+            eng, prefetch, telemetry=telemetry,
         )
     else:
         heap_cycles = merge_loop_batched(
             sched, writer, block_data, runs, system, free_inputs, validate,
+            telemetry=telemetry,
         )
 
     if not sched.finished():
@@ -201,13 +227,34 @@ def merge_runs(
             f"output buffer used {writer.max_buffered_blocks} blocks,"
             f" exceeding M_W = 2D = {2 * system.n_disks}"
         )
+    schedule = sched.stats()
+    report = eng.finish() if eng is not None else None
+    span.set(
+        initial_reads=schedule.initial_reads,
+        merge_parreads=schedule.merge_parreads,
+        flush_ops=schedule.flush_ops,
+        blocks_flushed=schedule.blocks_flushed,
+        max_mr_occupied=schedule.max_mr_occupied,
+        heap_cycles=heap_cycles,
+    )
+    if report is not None:
+        span.set(
+            makespan_ms=report.makespan_ms,
+            cpu_busy_ms=report.cpu_busy_ms,
+            read_stall_ms=report.read_stall_ms,
+            write_stall_ms=report.write_stall_ms,
+            disk_utilization=report.disk_utilization,
+            eager_reads=report.eager_reads,
+            demand_reads=report.demand_reads,
+        )
+    span.close()
     return MergeResult(
         output=output,
-        schedule=sched.stats(),
+        schedule=schedule,
         io=system.stats.since(start_stats),
         n_records=n_records,
         heap_cycles=heap_cycles,
-        overlap=eng.finish() if eng is not None else None,
+        overlap=report,
     )
 
 

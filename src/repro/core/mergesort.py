@@ -19,6 +19,8 @@ from ..disks.system import ParallelDiskSystem
 from ..disks.timing import DiskTimingModel
 from ..errors import ConfigError
 from ..rng import RngLike, ensure_rng
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import SPAN_MERGE_PASS, SPAN_RUN_FORMATION, SPAN_SORT
 from .config import OverlapConfig, SRMConfig
 from .events import OverlapReport
 from .layout import LayoutStrategy, choose_start_disks
@@ -119,6 +121,7 @@ def srm_mergesort(
     overlap: OverlapConfig | None = None,
     timing: DiskTimingModel | None = None,
     merger: str = "auto",
+    telemetry=None,
 ) -> SortResult:
     """Sort *infile* on *system* with SRM; returns the sorted run + stats.
 
@@ -148,21 +151,45 @@ def srm_mergesort(
         :func:`~repro.core.merge.merge_runs`): ``"auto"``/``"losertree"``
         for the vectorized data plane, ``"heapq"`` for the reference
         loop.  All produce identical I/O and output.
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` instance; the sort runs
+        inside a ``sort`` span enclosing a ``run_formation`` span and
+        one ``merge_pass`` span per pass (each merge adds its own
+        ``merge`` span).  ``None`` uses the zero-overhead null layer.
     """
     if config.n_disks != system.n_disks or config.block_size != system.block_size:
         raise ConfigError("config geometry does not match the disk system")
     if infile.n_records == 0:
         raise ConfigError("cannot sort an empty file")
     gen = ensure_rng(rng)
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
     start_stats = system.stats.snapshot()
     length = run_length if run_length is not None else config.memory_records
 
+    sort_span = tel.span(
+        SPAN_SORT,
+        system=system,
+        n_records=infile.n_records,
+        n_disks=system.n_disks,
+        block_size=system.block_size,
+        merge_order=config.merge_order,
+        formation=formation,
+    )
+    rf_span = tel.span(
+        SPAN_RUN_FORMATION, system=system, run_length=length
+    )
     if formation == "load_sort":
-        runs = form_runs_load_sort(system, infile, length, strategy, gen)
+        runs = form_runs_load_sort(
+            system, infile, length, strategy, gen, telemetry=telemetry
+        )
     elif formation == "replacement_selection":
-        runs = form_runs_replacement_selection(system, infile, length, strategy, gen)
+        runs = form_runs_replacement_selection(
+            system, infile, length, strategy, gen, telemetry=telemetry
+        )
     else:
         raise ConfigError(f"unknown formation method {formation!r}")
+    rf_span.set(runs_formed=len(runs))
+    rf_span.close()
 
     result = SortResult(
         output=runs[0],  # placeholder; replaced below
@@ -179,6 +206,12 @@ def srm_mergesort(
         groups = [runs[i : i + R] for i in range(0, len(runs), R)]
         out_runs: list[StripedRun] = []
         starts = choose_start_disks(len(groups), system.n_disks, strategy, gen)
+        pass_span = tel.span(
+            SPAN_MERGE_PASS,
+            system=system,
+            pass_index=pass_index,
+            n_runs_in=len(runs),
+        )
         reads = writes = flush_ops = blocks_flushed = n_merges = 0
         for g, group in enumerate(groups):
             if len(group) == 1:
@@ -196,6 +229,7 @@ def srm_mergesort(
                 overlap=overlap,
                 timing=timing,
                 merger=merger,
+                telemetry=telemetry,
             )
             next_run_id += 1
             delta = system.stats.since(before)
@@ -209,6 +243,13 @@ def srm_mergesort(
             if mres.overlap is not None:
                 result.overlap_reports.append(mres.overlap)
             out_runs.append(mres.output)
+        pass_span.set(
+            n_merges=n_merges,
+            n_runs_out=len(out_runs),
+            flush_ops=flush_ops,
+            blocks_flushed=blocks_flushed,
+        )
+        pass_span.close()
         result.passes.append(
             PassStats(
                 pass_index=pass_index,
@@ -226,6 +267,12 @@ def srm_mergesort(
     result.output = runs[0]
     result.io = system.stats.since(start_stats)
     result.system = system
+    sort_span.set(
+        runs_formed=result.runs_formed,
+        n_merge_passes=result.n_merge_passes,
+        heap_cycles=result.heap_cycles,
+    )
+    sort_span.close()
     return result
 
 
@@ -241,6 +288,7 @@ def srm_sort(
     overlap: OverlapConfig | None = None,
     timing: DiskTimingModel | None = None,
     merger: str = "auto",
+    telemetry=None,
 ) -> tuple[np.ndarray, SortResult]:
     """Convenience: sort a key array on a fresh simulated disk system.
 
@@ -266,5 +314,6 @@ def srm_sort(
         overlap=overlap,
         timing=timing,
         merger=merger,
+        telemetry=telemetry,
     )
     return result.peek_sorted(system), result

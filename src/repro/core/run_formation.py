@@ -37,6 +37,8 @@ from ..disks.files import StripedFile, StripedRun
 from ..disks.system import ParallelDiskSystem
 from ..errors import ConfigError, DataError
 from ..rng import RngLike, ensure_rng
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import H_RUN_LENGTH, run_length_edges
 from .layout import LayoutStrategy, choose_start_disks
 
 #: Recognized replacement-selection engines.
@@ -67,6 +69,7 @@ def form_runs_load_sort(
     rng: RngLike = None,
     first_run_id: int = 0,
     free_input: bool = True,
+    telemetry=None,
 ) -> list[StripedRun]:
     """One pass of memory-load run formation.
 
@@ -84,6 +87,8 @@ def form_runs_load_sort(
         return []
     n_runs = -(-infile.n_blocks // blocks_per_run)
     starts = choose_start_disks(n_runs, system.n_disks, strategy, rng)
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    h_len = tel.histogram(H_RUN_LENGTH, run_length_edges(run_length))
     runs: list[StripedRun] = []
     for i in range(n_runs):
         chunk = infile.addresses[i * blocks_per_run : (i + 1) * blocks_per_run]
@@ -100,6 +105,7 @@ def form_runs_load_sort(
         if free_input:
             for addr in chunk:
                 system.free(addr)
+        h_len.observe(keys.size)
         runs.append(
             StripedRun.from_sorted_keys(
                 system,
@@ -121,6 +127,7 @@ def form_runs_replacement_selection(
     first_run_id: int = 0,
     free_input: bool = True,
     engine: str = "block",
+    telemetry=None,
 ) -> list[StripedRun]:
     """One pass of replacement-selection run formation.
 
@@ -154,6 +161,10 @@ def form_runs_replacement_selection(
         raise DataError(
             f"replacement selection emitted {total} of {infile.n_records} records"
         )
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    h_len = tel.histogram(H_RUN_LENGTH, run_length_edges(memory_records))
+    for r in runs:
+        h_len.observe(r.n_records)
     return runs
 
 

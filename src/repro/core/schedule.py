@@ -40,6 +40,18 @@ from typing import Callable, Optional
 
 from ..errors import ScheduleError
 from ..memory import BufferPool
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import (
+    H_FLUSH_OCCUPANCY,
+    H_FLUSH_OUTRANK,
+    H_READ_WIDTH,
+    SCHED_BLOCKS_FLUSHED,
+    SCHED_FLUSH_OPS,
+    SCHED_INITIAL_READS,
+    SCHED_MERGE_PARREADS,
+    occupancy_edges,
+    read_width_edges,
+)
 from .forecasting import INF, ForecastStructure
 from .job import MergeJob
 
@@ -112,11 +124,29 @@ class MergeScheduler:
         validate: bool = False,
         on_read: Optional[ReadCallback] = None,
         on_flush: Optional[FlushCallback] = None,
+        telemetry=None,
     ) -> None:
         self.job = job
         self.validate = validate
         self.on_read = on_read
         self.on_flush = on_flush
+        # Metric handles are resolved once here; with telemetry disabled
+        # they are the shared no-op singleton, so the per-ParRead and
+        # per-flush observe/inc calls below cost nothing.
+        tel = telemetry if telemetry is not None else TELEMETRY_OFF
+        self._m_initial_reads = tel.counter(SCHED_INITIAL_READS)
+        self._m_parreads = tel.counter(SCHED_MERGE_PARREADS)
+        self._m_flush_ops = tel.counter(SCHED_FLUSH_OPS)
+        self._m_blocks_flushed = tel.counter(SCHED_BLOCKS_FLUSHED)
+        self._h_read_width = tel.histogram(
+            H_READ_WIDTH, read_width_edges(job.n_disks)
+        )
+        self._h_flush_occ = tel.histogram(
+            H_FLUSH_OCCUPANCY, occupancy_edges(job.n_disks)
+        )
+        self._h_flush_rank = tel.histogram(
+            H_FLUSH_OUTRANK, occupancy_edges(job.n_disks)
+        )
         self.fds = ForecastStructure(job)
         self.pool = BufferPool(merge_order=job.n_runs, n_disks=job.n_disks)
         #: Current leading block index per run (Definition 1).
@@ -207,6 +237,8 @@ class MergeScheduler:
                 self.fds.advance(r, d)
             self.initial_reads += 1
             self.blocks_read += len(stripe)
+            self._m_initial_reads.inc()
+            self._h_read_width.observe(len(stripe))
             if self.on_read is not None:
                 self.on_read(stripe)
         return self.initial_reads
@@ -261,6 +293,8 @@ class MergeScheduler:
         if extra > 0:
             out_rank = self.out_rank()
             if out_rank <= extra:
+                self._h_flush_occ.observe(extra)
+                self._h_flush_rank.observe(out_rank)
                 self._flush(extra - out_rank + 1)
             # else: case 2b — read without flushing; the pool guarantees
             # R + D frames so the incoming <= D blocks still fit only if
@@ -292,6 +326,8 @@ class MergeScheduler:
                 self.pool.stage_read_into_mr(1)
         self.merge_parreads += 1
         self.blocks_read += len(reads)
+        self._m_parreads.inc()
+        self._h_read_width.observe(len(reads))
         self.depletion_gaps.append(self._depletions_since_read)
         self._depletions_since_read = 0
         self.max_mr_occupied = max(self.max_mr_occupied, self.pool.mr_occupied)
@@ -319,6 +355,8 @@ class MergeScheduler:
         self.pool.flush(n_blocks)
         self.flush_ops += 1
         self.blocks_flushed += n_blocks
+        self._m_flush_ops.inc()
+        self._m_blocks_flushed.inc(n_blocks)
         if self.on_flush is not None:
             self.on_flush([(r, b) for _, r, b in evicted])
 

@@ -32,6 +32,8 @@ from ..disks.files import StripedRun
 from ..disks.striping import cyclic_disk
 from ..disks.system import ParallelDiskSystem
 from ..errors import DataError, ScheduleError
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import H_WRITER_OCCUPANCY, writer_occupancy_edges
 
 
 class RunWriter:
@@ -43,6 +45,7 @@ class RunWriter:
         run_id: int,
         start_disk: int,
         on_write: Optional[Callable[[list[int]], None]] = None,
+        telemetry=None,
     ) -> None:
         if not 0 <= start_disk < system.n_disks:
             raise DataError(
@@ -73,6 +76,10 @@ class RunWriter:
         #: High-water mark of buffered blocks (must stay <= 2D = |M_W|).
         self.max_buffered_blocks = 0
         self._last_appended: int | None = None
+        tel = telemetry if telemetry is not None else TELEMETRY_OFF
+        self._h_occupancy = tel.histogram(
+            H_WRITER_OCCUPANCY, writer_occupancy_edges(D)
+        )
 
     # -- ingest ----------------------------------------------------------
 
@@ -132,6 +139,8 @@ class RunWriter:
     def _drain_stripe(self) -> None:
         """Write the stripe at the ring head (zero-copy views)."""
         stride = self._stripe
+        B = self.system.block_size
+        self._h_occupancy.observe(-(-self._pending // B))
         h = self._head
         stripe = self._buf[:, h : h + stride]
         la = (h + stride) % self._cap
@@ -208,6 +217,8 @@ class RunWriter:
         self._pending = 0
         # Remaining blocks, the last possibly partial.
         blocks = [tail[:, i : i + B] for i in range(0, tail.shape[1], B)]
+        if blocks:
+            self._h_occupancy.observe(len(blocks))
         total_blocks = self._next_block + len(blocks)
 
         def key_of(index: int) -> float:

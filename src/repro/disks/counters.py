@@ -10,7 +10,7 @@ e.g. the worst-case layout of §3 where every read is 1/D efficient).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,14 +34,24 @@ class IOStats:
     parallel_writes: int = 0
     blocks_read: int = 0
     blocks_written: int = 0
-    reads_per_disk: np.ndarray = field(default=None)  # type: ignore[assignment]
-    writes_per_disk: np.ndarray = field(default=None)  # type: ignore[assignment]
+    reads_per_disk: np.ndarray | None = None
+    writes_per_disk: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.reads_per_disk is None:
             self.reads_per_disk = np.zeros(self.n_disks, dtype=np.int64)
+        elif len(self.reads_per_disk) != self.n_disks:
+            raise ValueError(
+                f"reads_per_disk has {len(self.reads_per_disk)} entries "
+                f"for n_disks={self.n_disks}"
+            )
         if self.writes_per_disk is None:
             self.writes_per_disk = np.zeros(self.n_disks, dtype=np.int64)
+        elif len(self.writes_per_disk) != self.n_disks:
+            raise ValueError(
+                f"writes_per_disk has {len(self.writes_per_disk)} entries "
+                f"for n_disks={self.n_disks}"
+            )
 
     # -- recording ----------------------------------------------------
 

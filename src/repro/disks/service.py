@@ -41,10 +41,15 @@ class DiskService:
     free_at: float = 0.0
     busy_ms: float = 0.0
     ops: int = 0
+    #: Summed gaps during which the disk sat idle between requests —
+    #: the per-spindle complement of ``busy_ms`` that the telemetry
+    #: layer reports as the overlap engine's idle-gap signal.
+    idle_ms: float = 0.0
 
     def submit(self, issue_ms: float, service_ms: float) -> float:
         """Accept a request at *issue_ms*; return its completion time."""
         start = max(issue_ms, self.free_at)
+        self.idle_ms += start - self.free_at
         complete = start + service_ms
         self.free_at = complete
         self.busy_ms += service_ms
@@ -113,6 +118,18 @@ class ServiceNetwork:
     def latest_completion_ms(self) -> float:
         """Time the last-finishing disk goes idle."""
         return max((d.free_at for d in self.disks), default=0.0)
+
+    def per_disk_summary(self) -> list[dict]:
+        """Per-disk ``{busy_ms, idle_ms, ops}`` for telemetry events.
+
+        ``idle_ms`` counts only inter-request gaps; trailing idleness up
+        to the makespan is the caller's to account (it depends on when
+        the merge as a whole finishes).
+        """
+        return [
+            {"busy_ms": d.busy_ms, "idle_ms": d.idle_ms, "ops": d.ops}
+            for d in self.disks
+        ]
 
     def utilization(self, makespan_ms: float) -> float:
         """Mean per-disk busy fraction over *makespan_ms*."""

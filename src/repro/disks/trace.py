@@ -18,6 +18,7 @@ Example::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -43,15 +44,38 @@ class TraceEvent:
 
 @dataclass
 class IOTrace:
-    """An append-only log of parallel I/O operations."""
+    """A log of parallel I/O operations.
 
-    events: list[TraceEvent] = field(default_factory=list)
+    By default the log is append-only and unbounded.  For long
+    benchmark runs pass ``max_events``: the trace becomes a ring buffer
+    keeping the newest ``max_events`` operations, counting evictions in
+    ``dropped``.  Event ``index`` values stay global (operation number
+    since the trace was attached), so a truncated trace still reads as
+    the tail of the full one.
+    """
+
+    events: deque[TraceEvent] = field(default_factory=deque)
+    #: Ring-buffer capacity; ``None`` = unbounded.
+    max_events: int | None = None
+    #: Events evicted by the ring buffer.
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError(
+                f"max_events must be >= 1, got {self.max_events}"
+            )
+        if not isinstance(self.events, deque):
+            self.events = deque(self.events)
 
     def record(self, kind: OpKind, disks: list[int], elapsed_ms: float) -> None:
         """Append one operation (called by the disk system)."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.events.popleft()
+            self.dropped += 1
         self.events.append(
             TraceEvent(
-                index=len(self.events),
+                index=self.dropped + len(self.events),
                 kind=kind,
                 disks=tuple(disks),
                 elapsed_ms=elapsed_ms,
@@ -60,6 +84,11 @@ class IOTrace:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    @property
+    def total_recorded(self) -> int:
+        """All operations ever recorded, evicted ones included."""
+        return self.dropped + len(self.events)
 
     # -- analyses ----------------------------------------------------------
 
@@ -162,8 +191,9 @@ class IOTrace:
             n_disks = max(max(ev.disks) for ev in self.events if ev.disks) + 1
         reads = sum(1 for ev in self.events if ev.kind == "read")
         writes = len(self.events) - reads
+        dropped = f", {self.dropped} dropped" if self.dropped else ""
         lines = [
-            f"{len(self.events)} parallel ops ({reads} reads, {writes} writes)",
+            f"{len(self.events)} parallel ops ({reads} reads, {writes} writes{dropped})",
             f"mean width: reads {self.mean_width('read'):.2f}, "
             f"writes {self.mean_width('write'):.2f} (of {n_disks} disks)",
             f"read imbalance (max/mean participation): "

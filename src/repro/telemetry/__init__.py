@@ -1,0 +1,37 @@
+"""Unified observability: metrics registry, phase spans, run reports.
+
+Three pieces, one handle:
+
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-bucket
+  histograms, with a shared no-op singleton when disabled
+  (:data:`TELEMETRY_OFF`) so instrumented hot paths cost nothing.
+* :class:`Telemetry` / spans — nesting phase scopes (``sort`` >
+  ``merge_pass`` > ``merge``) carrying wall-clock, simulated-time, and
+  I/O-delta attributes, emitted as a JSONL event stream.
+* :class:`RunReport` — the ``repro inspect`` renderer mapping each
+  captured metric back to the paper quantity it measures (Theorem 1
+  read bounds, §5 flushing, overlap, per-disk skew).
+
+Canonical metric names live in :mod:`repro.telemetry.schema`; the
+mapping to paper quantities is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from .registry import NULL_METRIC, Counter, Gauge, Histogram, MetricsRegistry
+from .report import RunReport, load_events
+from .spans import TELEMETRY_OFF, NullTelemetry, Span, Telemetry
+from . import schema
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NullTelemetry",
+    "RunReport",
+    "Span",
+    "Telemetry",
+    "TELEMETRY_OFF",
+    "load_events",
+    "schema",
+]

@@ -1,0 +1,200 @@
+"""Canonical metric names and the JSONL event schema.
+
+Every quantity the repo measures in more than one place is named here
+exactly once; the scheduler, the disk system, the bench harness, and
+``repro inspect`` all speak these names.  The mapping from each metric
+to the paper quantity it measures is documented in
+``docs/OBSERVABILITY.md``.
+
+Event stream layout (one JSON object per line):
+
+* ``{"type": "meta", "schema": SCHEMA_VERSION, "algo": ..., ...}`` —
+  always the first event; carries the run configuration.
+* ``{"type": "event", "name": ..., "seq": ..., "attrs": {...}}`` —
+  point events (overlap disk summaries, notes).
+* ``{"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
+  "depth": ..., "seq": ..., "start_seq": ..., "wall_s": ...,
+  "attrs": {...}, "io": {...}}`` — a closed phase scope; ``io`` is the
+  I/O-counter delta over the span when a disk system was attached.
+* ``{"type": "metrics", "metrics": {name: snapshot}}`` — the registry
+  snapshot, emitted once at the end by ``Telemetry.finish()``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SPAN_SORT",
+    "SPAN_RUN_FORMATION",
+    "SPAN_MERGE_PASS",
+    "SPAN_MERGE",
+    "SPAN_WRITE_BEHIND",
+    "IO_PARALLEL_READS",
+    "IO_PARALLEL_WRITES",
+    "IO_BLOCKS_READ",
+    "IO_BLOCKS_WRITTEN",
+    "SCHED_INITIAL_READS",
+    "SCHED_MERGE_PARREADS",
+    "SCHED_FLUSH_OPS",
+    "SCHED_BLOCKS_FLUSHED",
+    "MERGE_DRAIN_CYCLES",
+    "H_READ_WIDTH",
+    "H_FLUSH_OCCUPANCY",
+    "H_FLUSH_OUTRANK",
+    "H_DRAIN_BATCH",
+    "H_RUN_LENGTH",
+    "H_WRITER_OCCUPANCY",
+    "H_OVERLAP_QUEUE_DEPTH",
+    "EV_OVERLAP_DISKS",
+    "read_width_edges",
+    "occupancy_edges",
+    "run_length_edges",
+    "writer_occupancy_edges",
+    "batch_edges",
+    "validate_events",
+]
+
+#: Bump when the event layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+# -- span names ------------------------------------------------------------
+
+SPAN_SORT = "sort"
+SPAN_RUN_FORMATION = "run_formation"
+SPAN_MERGE_PASS = "merge_pass"
+SPAN_MERGE = "merge"
+SPAN_WRITE_BEHIND = "write_behind"
+
+# -- counters --------------------------------------------------------------
+
+IO_PARALLEL_READS = "io.parallel_reads"
+IO_PARALLEL_WRITES = "io.parallel_writes"
+IO_BLOCKS_READ = "io.blocks_read"
+IO_BLOCKS_WRITTEN = "io.blocks_written"
+SCHED_INITIAL_READS = "sched.initial_reads"
+SCHED_MERGE_PARREADS = "sched.merge_parreads"
+SCHED_FLUSH_OPS = "sched.flush_ops"
+SCHED_BLOCKS_FLUSHED = "sched.blocks_flushed"
+MERGE_DRAIN_CYCLES = "merge.drain_cycles"
+
+# -- histograms ------------------------------------------------------------
+
+#: Blocks moved per parallel read (Theorem 1's parallelism; <= D).
+H_READ_WIDTH = "io.read_width"
+#: M_R occupancy in excess of the merge order R when a Flush_t fired
+#: (§5.5 case 2c's ``extra``; §5.4 bounds it by D).
+H_FLUSH_OCCUPANCY = "sched.flush_occupancy"
+#: OutRank_t at each flush decision (Definition 7; 1 on the demand path).
+H_FLUSH_OUTRANK = "sched.flush_outrank"
+#: Records emitted per internal-merge drain step (loser-tree batch size).
+H_DRAIN_BATCH = "merge.drain_batch"
+#: Records per formed run (replacement selection targets 2M).
+H_RUN_LENGTH = "run_formation.run_length"
+#: Buffered output blocks at each stripe write (M_W <= 2D discipline).
+H_WRITER_OCCUPANCY = "writer.buffered_blocks"
+#: In-flight prefetched blocks at each ParRead (overlap engine).
+H_OVERLAP_QUEUE_DEPTH = "overlap.queue_depth"
+
+# -- point events ----------------------------------------------------------
+
+#: Per-disk busy/idle breakdown of one engine-driven merge.
+EV_OVERLAP_DISKS = "overlap_disks"
+
+
+# -- bucket layouts --------------------------------------------------------
+#
+# Edges are derived only from the machine geometry (D, B, M) so SRM and
+# DSM runs on the same machine produce byte-comparable histograms.
+
+
+def read_width_edges(n_disks: int) -> tuple[float, ...]:
+    """One bucket per possible stripe width ``1..D``."""
+    return tuple(float(w) for w in range(1, n_disks + 1))
+
+
+def occupancy_edges(n_disks: int) -> tuple[float, ...]:
+    """Buckets for the flush-time occupancy excess, §5.4-bounded by D."""
+    return tuple(float(v) for v in range(1, n_disks + 1))
+
+
+def run_length_edges(memory_records: int) -> tuple[float, ...]:
+    """Buckets around the 2M replacement-selection expectation."""
+    m = max(1, memory_records)
+    return tuple(float(m * f) for f in (0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0))
+
+
+def writer_occupancy_edges(n_disks: int) -> tuple[float, ...]:
+    """Buckets for buffered output blocks at drain time.
+
+    The ring holds two ``M_W = 2D`` windows, so occupancy at a stripe
+    write sits in ``[2D, 4D]``; one bucket per block count.
+    """
+    return tuple(float(v) for v in range(1, 4 * n_disks + 1))
+
+
+def batch_edges(block_size: int) -> tuple[float, ...]:
+    """Power-of-two-ish buckets for drain batch sizes, in records."""
+    b = max(1, block_size)
+    return tuple(
+        sorted({float(v) for v in (1, 4, 16, b // 2 or 1, b, 4 * b, 16 * b)})
+    )
+
+
+# -- validation ------------------------------------------------------------
+
+_SPAN_REQUIRED = ("name", "span_id", "parent_id", "depth", "seq", "wall_s")
+
+
+def validate_events(events: list[dict]) -> list[str]:
+    """Structural checks over a decoded event stream.
+
+    Returns a list of human-readable problems (empty = valid): meta
+    first with a known schema version, spans carrying required fields
+    with resolvable parents and consistent depths, and exactly one
+    trailing metrics snapshot.
+    """
+    errors: list[str] = []
+    if not events:
+        return ["empty event stream"]
+    head = events[0]
+    if head.get("type") != "meta":
+        errors.append(f"first event must be meta, got {head.get('type')!r}")
+    elif head.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema version {head.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    spans: dict[int, dict] = {}
+    n_metrics = 0
+    for i, ev in enumerate(events):
+        t = ev.get("type")
+        if t == "span":
+            missing = [f for f in _SPAN_REQUIRED if f not in ev]
+            if missing:
+                errors.append(f"span event {i} missing fields {missing}")
+                continue
+            spans[ev["span_id"]] = ev
+        elif t == "metrics":
+            n_metrics += 1
+            if not isinstance(ev.get("metrics"), dict):
+                errors.append(f"metrics event {i} carries no metrics dict")
+        elif t not in ("meta", "event"):
+            errors.append(f"event {i} has unknown type {t!r}")
+    for sid, ev in spans.items():
+        pid = ev["parent_id"]
+        if pid is None:
+            if ev["depth"] != 0:
+                errors.append(f"root span {sid} has depth {ev['depth']} != 0")
+            continue
+        parent = spans.get(pid)
+        if parent is None:
+            errors.append(f"span {sid} references unknown parent {pid}")
+        elif ev["depth"] != parent["depth"] + 1:
+            errors.append(
+                f"span {sid} depth {ev['depth']} != parent depth "
+                f"{parent['depth']} + 1"
+            )
+    if n_metrics != 1:
+        errors.append(f"expected exactly one metrics event, got {n_metrics}")
+    elif events[-1].get("type") != "metrics":
+        errors.append("metrics snapshot must be the final event")
+    return errors

@@ -1,0 +1,84 @@
+"""IOStats construction, recording, and snapshot arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disks import IOStats
+
+
+class TestConstruction:
+    def test_defaults_allocate_per_disk_arrays(self):
+        s = IOStats(n_disks=3)
+        assert s.reads_per_disk.tolist() == [0, 0, 0]
+        assert s.writes_per_disk.tolist() == [0, 0, 0]
+        assert s.reads_per_disk.dtype == np.int64
+
+    def test_keyword_construction_with_arrays(self):
+        s = IOStats(
+            n_disks=2,
+            parallel_reads=3,
+            blocks_read=5,
+            reads_per_disk=np.array([3, 2], dtype=np.int64),
+        )
+        assert s.parallel_reads == 3
+        assert s.reads_per_disk.tolist() == [3, 2]
+        assert s.writes_per_disk.tolist() == [0, 0]
+
+    def test_mismatched_array_length_rejected(self):
+        with pytest.raises(ValueError, match="reads_per_disk"):
+            IOStats(n_disks=2, reads_per_disk=np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="writes_per_disk"):
+            IOStats(n_disks=2, writes_per_disk=np.zeros(1, dtype=np.int64))
+
+
+class TestRecordingAndDerived:
+    def test_record_and_efficiency(self):
+        s = IOStats(n_disks=4)
+        s.record_read([0, 1, 2, 3])
+        s.record_read([0])
+        s.record_write([1, 2])
+        assert s.parallel_ios == 3
+        assert s.blocks_read == 5
+        assert s.read_efficiency == pytest.approx(5 / 8)
+        assert s.write_efficiency == pytest.approx(2 / 4)
+        assert s.reads_per_disk.tolist() == [2, 1, 1, 1]
+
+    def test_idle_efficiency_is_one(self):
+        s = IOStats(n_disks=4)
+        assert s.read_efficiency == 1.0
+        assert s.write_efficiency == 1.0
+
+
+class TestSnapshots:
+    def test_snapshot_is_independent(self):
+        s = IOStats(n_disks=2)
+        s.record_read([0])
+        snap = s.snapshot()
+        s.record_read([0, 1])
+        assert snap.parallel_reads == 1
+        assert snap.reads_per_disk.tolist() == [1, 0]
+
+    def test_since_delta(self):
+        s = IOStats(n_disks=2)
+        s.record_read([0])
+        before = s.snapshot()
+        s.record_read([0, 1])
+        s.record_write([1])
+        d = s.since(before)
+        assert d.parallel_reads == 1
+        assert d.parallel_writes == 1
+        assert d.blocks_read == 2
+        assert d.reads_per_disk.tolist() == [1, 1]
+
+    def test_since_mismatched_d_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats(n_disks=2).since(IOStats(n_disks=3))
+
+    def test_reset(self):
+        s = IOStats(n_disks=2)
+        s.record_read([0, 1])
+        s.reset()
+        assert s.parallel_ios == 0
+        assert s.reads_per_disk.tolist() == [0, 0]

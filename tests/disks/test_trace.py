@@ -130,3 +130,50 @@ class TestTraceOnSorts:
             srm_mergesort(sys, infile, cfg, strategy=strat, rng=4, run_length=128)
             results[strat] = sys.trace.imbalance(4, "read")
         assert results[LayoutStrategy.WORST_CASE] >= results[LayoutStrategy.RANDOMIZED]
+
+
+class TestRingBuffer:
+    def test_bounded_trace_keeps_newest(self):
+        t = IOTrace(max_events=3)
+        for i in range(5):
+            t.record("read", [i % 4], float(i))
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert t.total_recorded == 5
+        # Global indices survive eviction: trace reads as the tail.
+        assert [ev.index for ev in t.events] == [2, 3, 4]
+        assert t.events[0].disks == (2,)
+
+    def test_unbounded_by_default(self):
+        t = IOTrace()
+        for i in range(100):
+            t.record("write", [0], 0.0)
+        assert len(t) == 100 and t.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="max_events"):
+            IOTrace(max_events=0)
+
+    def test_summary_reports_drops(self):
+        t = IOTrace(max_events=1)
+        t.record("read", [0], 0.0)
+        t.record("read", [1], 1.0)
+        assert "1 dropped" in t.summary(2)
+
+    def test_analyses_use_surviving_window(self):
+        t = IOTrace(max_events=2)
+        t.record("read", [0, 1, 2], 0.0)  # evicted
+        t.record("read", [0], 1.0)
+        t.record("read", [1], 2.0)
+        assert t.mean_width("read") == 1.0
+        assert list(t.disk_participation(3)) == [1, 1, 0]
+
+    def test_on_system(self):
+        sys = traced_system()
+        sys.trace = IOTrace(max_events=2)
+        for d in range(4):
+            a = sys.allocate(d)
+            sys.write_stripe([(a, blk())])
+        assert len(sys.trace) == 2
+        assert sys.trace.dropped == 2
+        assert [ev.disks for ev in sys.trace.events] == [(2,), (3,)]

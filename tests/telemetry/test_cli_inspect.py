@@ -1,0 +1,61 @@
+"""CLI integration: ``repro sort --telemetry`` and ``repro inspect``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_telemetry_and_inspect_parse(self):
+        p = build_parser()
+        args = p.parse_args(["sort", "--n", "100", "--telemetry", "t.jsonl"])
+        assert args.telemetry == "t.jsonl"
+        args = p.parse_args(["inspect", "t.jsonl", "--check"])
+        assert args.trace == "t.jsonl" and args.check
+        assert callable(args.func)
+
+
+class TestSortInspectRoundtrip:
+    def _sort(self, tmp_path, extra=()):
+        trace = str(tmp_path / "run.jsonl")
+        rc = main(["sort", "--n", "3000", "--disks", "2", "--block", "8",
+                   "--k", "2", "--telemetry", trace, *extra])
+        assert rc == 0
+        return trace
+
+    def test_srm_trace_is_valid_jsonl(self, tmp_path, capsys):
+        trace = self._sort(tmp_path)
+        capsys.readouterr()
+        with open(trace) as fh:
+            events = [json.loads(line) for line in fh]
+        assert events[0]["type"] == "meta"
+        assert events[0]["algo"] == "srm"
+        assert events[0]["merge_order"] >= 2
+        assert events[-1]["type"] == "metrics"
+
+    def test_srm_inspect_check_passes(self, tmp_path, capsys):
+        trace = self._sort(tmp_path)
+        capsys.readouterr()
+        assert main(["inspect", trace, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "check passed" in out
+
+    def test_dsm_inspect_check_passes(self, tmp_path, capsys):
+        trace = self._sort(tmp_path, extra=("--dsm",))
+        capsys.readouterr()
+        assert main(["inspect", trace, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "algo=dsm" in out
+
+    def test_inspect_corrupt_trace_errors(self, tmp_path):
+        from repro.errors import DataError
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{}\n")
+        with pytest.raises(DataError):
+            main(["inspect", str(bad)])

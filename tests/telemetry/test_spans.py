@@ -1,0 +1,165 @@
+"""Span nesting/ordering, the event stream, and the disabled fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.disks import Block, ParallelDiskSystem
+from repro.errors import ScheduleError
+from repro.telemetry import NULL_METRIC, TELEMETRY_OFF, Telemetry
+from repro.telemetry.schema import SCHEMA_VERSION, validate_events
+
+
+class TestSpanNesting:
+    def test_parent_depth_and_ordering(self):
+        tel = Telemetry(algo="test")
+        with tel.span("sort") as outer:
+            with tel.span("merge_pass") as mid:
+                with tel.span("merge") as inner:
+                    pass
+        spans = [e for e in tel.events if e["type"] == "span"]
+        # Spans are emitted at close: innermost first.
+        assert [s["name"] for s in spans] == ["merge", "merge_pass", "sort"]
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["sort"]["depth"] == 0
+        assert by_name["sort"]["parent_id"] is None
+        assert by_name["merge_pass"]["parent_id"] == by_name["sort"]["span_id"]
+        assert by_name["merge"]["depth"] == 2
+        # start_seq preserves opening order even though seq is close order.
+        assert (by_name["sort"]["start_seq"] < by_name["merge_pass"]["start_seq"]
+                < by_name["merge"]["start_seq"])
+        assert outer.span_id != mid.span_id != inner.span_id
+
+    def test_out_of_order_close_raises(self):
+        tel = Telemetry()
+        outer = tel.span("outer")
+        tel.span("inner")
+        with pytest.raises(ScheduleError, match="out of order"):
+            outer.close()
+
+    def test_double_close_raises(self):
+        tel = Telemetry()
+        s = tel.span("x")
+        s.close()
+        with pytest.raises(ScheduleError):
+            s.close()
+
+    def test_finish_with_open_spans_raises(self):
+        tel = Telemetry()
+        tel.span("dangling")
+        with pytest.raises(ScheduleError, match="open spans"):
+            tel.finish()
+
+    def test_set_attaches_attrs(self):
+        tel = Telemetry()
+        with tel.span("x", a=1) as s:
+            s.set(b=2)
+        ev = tel.events[-1]
+        assert ev["attrs"] == {"a": 1, "b": 2}
+
+    def test_io_delta_recorded_with_system(self):
+        system = ParallelDiskSystem(2, 4)
+        tel = Telemetry()
+        with tel.span("x", system=system):
+            addrs = [system.allocate(0), system.allocate(1)]
+            system.write_stripe(
+                [(a, Block(keys=np.arange(4, dtype=np.int64))) for a in addrs]
+            )
+        ev = tel.events[-1]
+        assert ev["io"]["parallel_writes"] == 1
+        assert ev["io"]["blocks_written"] == 2
+        assert ev["io"]["writes_per_disk"] == [1, 1]
+        assert ev["io"]["parallel_reads"] == 0
+
+    def test_span_without_system_has_no_io(self):
+        tel = Telemetry()
+        with tel.span("x"):
+            pass
+        assert "io" not in tel.events[-1]
+
+
+class TestStream:
+    def test_meta_first_and_set_meta(self):
+        tel = Telemetry(algo="srm", n_records=10)
+        tel.set_meta(merge_order=4)
+        head = tel.events[0]
+        assert head["type"] == "meta"
+        assert head["schema"] == SCHEMA_VERSION
+        assert head["algo"] == "srm"
+        assert head["merge_order"] == 4
+
+    def test_point_events_sequenced(self):
+        tel = Telemetry()
+        tel.event("a", x=1)
+        tel.event("b", y=2)
+        evs = [e for e in tel.events if e["type"] == "event"]
+        assert [e["name"] for e in evs] == ["a", "b"]
+        assert evs[0]["seq"] < evs[1]["seq"]
+
+    def test_finish_appends_metrics_once(self):
+        tel = Telemetry()
+        tel.counter("c").inc(3)
+        events = tel.finish()
+        assert events is tel.finish()  # idempotent
+        assert sum(1 for e in events if e["type"] == "metrics") == 1
+        assert events[-1]["metrics"]["c"]["value"] == 3
+
+    def test_finished_stream_validates(self):
+        tel = Telemetry(algo="test")
+        with tel.span("sort"):
+            with tel.span("merge"):
+                pass
+        tel.event("note", k=1)
+        assert validate_events(tel.finish()) == []
+
+    def test_metric_accessors_share_registry(self):
+        tel = Telemetry()
+        assert tel.counter("c") is tel.registry.counter("c")
+        assert tel.histogram("h", (1.0,)) is tel.registry.histogram("h", (1.0,))
+        tel.gauge("g").set(2.0)
+        assert tel.registry.get("g").max_value == 2.0
+
+
+class TestValidateEvents:
+    def test_rejects_structural_problems(self):
+        assert validate_events([]) == ["empty event stream"]
+        assert any("meta" in e for e in validate_events([{"type": "span"}]))
+        bad_schema = [{"type": "meta", "schema": 999},
+                      {"type": "metrics", "metrics": {}}]
+        assert any("schema" in e for e in validate_events(bad_schema))
+
+    def test_rejects_missing_or_trailing_metrics(self):
+        meta = {"type": "meta", "schema": SCHEMA_VERSION}
+        assert any("metrics" in e for e in validate_events([meta]))
+        out_of_place = [meta, {"type": "metrics", "metrics": {}},
+                        {"type": "event", "name": "late", "seq": 1, "attrs": {}}]
+        assert any("final" in e for e in validate_events(out_of_place))
+
+    def test_rejects_broken_span_tree(self):
+        meta = {"type": "meta", "schema": SCHEMA_VERSION}
+        orphan = {"type": "span", "name": "x", "span_id": 2, "parent_id": 99,
+                  "depth": 1, "seq": 1, "start_seq": 1, "wall_s": 0.0}
+        tail = {"type": "metrics", "metrics": {}}
+        assert any("unknown parent" in e
+                   for e in validate_events([meta, orphan, tail]))
+
+
+class TestDisabledMode:
+    def test_singletons(self):
+        assert TELEMETRY_OFF.span("a") is TELEMETRY_OFF.span("b")
+        assert TELEMETRY_OFF.counter("a") is NULL_METRIC
+        assert TELEMETRY_OFF.gauge("a") is NULL_METRIC
+        assert TELEMETRY_OFF.histogram("a", (1.0,)) is NULL_METRIC
+
+    def test_enabled_flags(self):
+        assert Telemetry().enabled is True
+        assert TELEMETRY_OFF.enabled is False
+
+    def test_null_span_is_inert(self):
+        with TELEMETRY_OFF.span("x", system=None, a=1) as s:
+            s.set(b=2)
+        s.close()  # extra close is fine on the null span
+        TELEMETRY_OFF.event("x", y=1)
+        TELEMETRY_OFF.set_meta(z=3)
