@@ -34,6 +34,9 @@ Subpackages
     Sortedness/permutation/on-disk-format checks.
 ``repro.telemetry``
     Metrics registry, phase spans, JSONL traces, ``repro inspect``.
+``repro.faults``
+    Deterministic fault injection: retrying disk service, degraded-mode
+    operation after disk loss, and the ``repro chaos`` harness.
 """
 
 from ._version import __version__
@@ -63,6 +66,15 @@ from .disks import (
     StripedFile,
     StripedRun,
 )
+from .faults import (
+    ChaosReport,
+    CircuitBreaker,
+    DiskDeath,
+    FaultPlan,
+    RetryPolicy,
+    StallWindow,
+    run_chaos,
+)
 from .sorting import ExternalSortStats, external_sort, external_sort_records
 from .telemetry import (
     MetricsRegistry,
@@ -71,8 +83,10 @@ from .telemetry import (
     TELEMETRY_OFF,
 )
 from .errors import (
+    ChecksumError,
     ConfigError,
     DataError,
+    DiskDeadError,
     DiskError,
     DiskFullError,
     InvalidIOError,
@@ -107,13 +121,22 @@ __all__ = [
     "ParallelDiskSystem",
     "StripedFile",
     "StripedRun",
+    "ChecksumError",
     "ConfigError",
     "DataError",
+    "DiskDeadError",
     "DiskError",
     "DiskFullError",
     "InvalidIOError",
     "ReproError",
     "ScheduleError",
+    "ChaosReport",
+    "CircuitBreaker",
+    "DiskDeath",
+    "FaultPlan",
+    "RetryPolicy",
+    "StallWindow",
+    "run_chaos",
     "ExternalSortStats",
     "external_sort",
     "external_sort_records",

@@ -144,10 +144,11 @@ class DSMSortResult:
     def peek_sorted(self, system: ParallelDiskSystem | None = None) -> np.ndarray:
         """Read the sorted output without charging I/O."""
         sys = self._system(system)
+        # peek() resolves degraded-mode remaps after a disk death.
         parts = []
         for stripe in self.output.stripes:
             for addr in stripe:
-                parts.append(sys.disks[addr.disk].read(addr.slot).keys)
+                parts.append(sys.peek(addr).keys)
         return np.concatenate(parts)
 
     def peek_sorted_records(
@@ -156,7 +157,7 @@ class DSMSortResult:
         """Read sorted keys and payloads without charging I/O."""
         sys = self._system(system)
         blocks = [
-            sys.disks[addr.disk].read(addr.slot)
+            sys.peek(addr)
             for stripe in self.output.stripes
             for addr in stripe
         ]
@@ -474,12 +475,19 @@ def dsm_sort(
     run_length: int | None = None,
     payloads: np.ndarray | None = None,
     telemetry=None,
+    faults=None,
 ) -> tuple[np.ndarray, DSMSortResult]:
-    """Convenience: DSM-sort a key array on a fresh simulated system."""
+    """Convenience: DSM-sort a key array on a fresh simulated system.
+
+    *faults* — a :class:`~repro.faults.plan.FaultPlan` — arms
+    deterministic fault injection before any block is placed.
+    """
     keys = np.asarray(keys, dtype=np.int64)
     if keys.size == 0:
         return keys.copy(), None  # type: ignore[return-value]
     system = ParallelDiskSystem(config.n_disks, config.block_size)
+    if faults is not None:
+        system.attach_faults(faults, telemetry=telemetry)
     infile = StripedFile.from_records(system, keys, payloads=payloads)
     result = dsm_mergesort(
         system, infile, config, run_length=run_length, telemetry=telemetry

@@ -265,6 +265,46 @@ def bench_telemetry(n_records: int, k: int = 4, n_disks: int = 4,
     }
 
 
+def bench_faults(n_records: int, k: int = 4, n_disks: int = 4,
+                 block_size: int = 64, seed: int = 2) -> dict:
+    """Cost of the fault-injected data path vs. the untouched fast path.
+
+    Arming an injector reroutes every stripe through the per-block
+    retry/checksum machinery, so this measures what resilience costs —
+    and asserts that a transiently-failing sort still produces the
+    fault-free output bit for bit.
+    """
+    from .faults import FaultPlan
+
+    keys = uniform_permutation(n_records, rng=seed)
+    cfg = SRMConfig.from_k(k, n_disks, block_size)
+    wall_off, (out_off, res_off) = _time(
+        lambda: srm_sort(keys, cfg, rng=seed + 1)
+    )
+    plan = FaultPlan(seed=seed, read_fail_p=0.02)
+    wall_on, (out_on, res_on) = _time(
+        lambda: srm_sort(keys, cfg, rng=seed + 1, faults=plan)
+    )
+    if not np.array_equal(out_off, out_on):
+        raise DataError("fault path equivalence violated: outputs differ")
+    stats = res_on.system.faults.stats.snapshot()
+    return {
+        "wall_s_fault_free": round(wall_off, 6),
+        "wall_s_armed": round(wall_on, 6),
+        "armed_overhead_frac": round(wall_on / wall_off - 1.0, 4),
+        "records_per_sec_armed": round(n_records / wall_on),
+        "retries": stats["retries"],
+        "parallel_ios_fault_free": res_off.total_parallel_ios,
+        "parallel_ios_armed": res_on.total_parallel_ios,
+        "output_identical": True,  # asserted above
+        "params": {
+            "n_records": n_records, "k": k, "n_disks": n_disks,
+            "block_size": block_size, "seed": seed,
+            "read_fail_p": plan.read_fail_p,
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run the full harness; returns the JSON-ready report."""
     scale = QUICK if quick else FULL
@@ -277,6 +317,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         ),
         "writer": bench_writer(scale["writer_records"]),
         "telemetry": bench_telemetry(scale["merge_records"]),
+        "faults": bench_faults(scale["merge_records"]),
     }
     return report
 
@@ -311,6 +352,9 @@ def main(argv: list[str] | None = None) -> int:
     t = report["telemetry"]
     print(f"telemetry     enable overhead {t['enable_overhead_frac']*100:+.1f}%"
           f"  ({t['n_metrics']} metrics, schema {t['schema']})")
+    fl = report["faults"]
+    print(f"faults        armed overhead {fl['armed_overhead_frac']*100:+.1f}%"
+          f"  ({fl['retries']} retries, output identical)")
     print(f"report -> {args.out}")
 
     ok = True

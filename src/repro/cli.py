@@ -11,6 +11,7 @@ Usage::
     python -m repro sort --telemetry run.jsonl
     python -m repro inspect run.jsonl [--check]
     python -m repro bench [--quick] [--out BENCH_sort_throughput.json]
+    python -m repro chaos [--quick] [--check] [--out chaos.jsonl]
     python -m repro demo
 
 ``--full`` switches Table 3/4 to paper-scale run lengths (slow).
@@ -243,6 +244,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import run_chaos
+
+    report = run_chaos(
+        n_records=args.n,
+        n_disks=args.disks,
+        k=args.k,
+        block_size=args.block,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    print(report.render())
+    if args.out is not None:
+        report.write_jsonl(args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        failures = report.failures()
+        if failures:
+            print("\nchaos check FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nchaos check passed")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main as bench_main
 
@@ -361,6 +388,26 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--min-rs-speedup", type=float, default=None,
                     help="fail unless block/record >= this ratio")
     be.set_defaults(func=_cmd_bench)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: every plan must sort bit-identically",
+    )
+    ch.add_argument("--n", type=int, default=20_000,
+                    help="records per sort (default: %(default)s)")
+    ch.add_argument("--disks", type=int, default=4)
+    ch.add_argument("--k", type=int, default=2,
+                    help="merge order R = kD")
+    ch.add_argument("--block", type=int, default=16)
+    ch.add_argument("--seed", type=int, default=1234,
+                    help="root seed for data, layout, and fault streams")
+    ch.add_argument("--quick", action="store_true",
+                    help="only the transient/corrupt/death scenarios (CI smoke)")
+    ch.add_argument("--check", action="store_true",
+                    help="exit 1 unless every resilience property holds")
+    ch.add_argument("--out", metavar="PATH", default=None,
+                    help="write the scenario results as JSONL to PATH")
+    ch.set_defaults(func=_cmd_chaos)
     return p
 
 

@@ -122,6 +122,12 @@ class OverlapEngine:
         Read-ahead window in eager ``ParRead`` operations; the engine
         keeps at most ``prefetch_depth * D`` prefetched-but-unconsumed
         blocks in memory.  Ignored when ``mode="none"``.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultInjector` shared with
+        the disk system: the service network scales service times by
+        straggler factors, floors starts at stall-window ends, and
+        drains the retry/backoff penalties the synchronous data path
+        accumulated — so fault cost shows up in the simulated makespan.
     """
 
     def __init__(
@@ -133,6 +139,7 @@ class OverlapEngine:
         mode: str = "full",
         prefetch_depth: int = 2,
         telemetry=None,
+        faults=None,
     ) -> None:
         if mode not in OVERLAP_MODES:
             raise ConfigError(
@@ -144,7 +151,7 @@ class OverlapEngine:
             raise ConfigError(f"cpu cost must be >= 0, got {cpu_us_per_record}")
         self.mode = mode
         self.prefetch_depth = prefetch_depth
-        self.net = ServiceNetwork(n_disks, timing, block_size)
+        self.net = ServiceNetwork(n_disks, timing, block_size, faults=faults)
         self._cpu_ms_per_record = cpu_us_per_record / 1000.0
         self._window = prefetch_depth * n_disks  # read-ahead, in blocks
         #: Simulated CPU clock.

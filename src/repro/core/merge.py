@@ -159,6 +159,7 @@ def merge_runs(
             mode=overlap.mode,
             prefetch_depth=overlap.prefetch_depth,
             telemetry=telemetry,
+            faults=system.faults,
         )
 
     # Resident block contents: (keys, payloads-or-None).
@@ -172,7 +173,16 @@ def merge_runs(
                 _check_forecast(job, r, b, blk.forecast)
             block_data[(r, b)] = (blk.keys, blk.payloads)
         if eng is not None:
-            eng.on_parread(ops)
+            # The scheduler speaks logical disks; queue the requests on
+            # the *physical* spindles (identical fault-free, relocated
+            # onto survivors in degraded mode — colliding requests then
+            # serialize on the survivor's FIFO, which is the overhead).
+            eng.on_parread(
+                [
+                    (r, b, system.resolve(a).disk)
+                    for (r, b, _d), a in zip(ops, addrs)
+                ]
+            )
 
     def on_flush(evicted: list[tuple[int, int]]) -> None:
         # Definition 6: flushing is virtual — drop the copy; the block

@@ -89,9 +89,9 @@ class SortResult:
     def peek_sorted(self, system: ParallelDiskSystem | None = None) -> np.ndarray:
         """Read the sorted output without charging I/O (verification aid)."""
         sys = self._system(system)
-        parts = [
-            sys.disks[a.disk].read(a.slot).keys for a in self.output.addresses
-        ]
+        # peek() resolves degraded-mode remaps, so the output reads
+        # back correctly even after a disk death relocated blocks.
+        parts = [sys.peek(a).keys for a in self.output.addresses]
         return np.concatenate(parts)
 
     def peek_sorted_records(
@@ -99,9 +99,7 @@ class SortResult:
     ) -> tuple[np.ndarray, np.ndarray | None]:
         """Read sorted keys and payloads without charging I/O."""
         sys = self._system(system)
-        blocks = [
-            sys.disks[a.disk].read(a.slot) for a in self.output.addresses
-        ]
+        blocks = [sys.peek(a) for a in self.output.addresses]
         keys = np.concatenate([b.keys for b in blocks])
         if blocks[0].payloads is None:
             return keys, None
@@ -289,18 +287,23 @@ def srm_sort(
     timing: DiskTimingModel | None = None,
     merger: str = "auto",
     telemetry=None,
+    faults=None,
 ) -> tuple[np.ndarray, SortResult]:
     """Convenience: sort a key array on a fresh simulated disk system.
 
     Returns the sorted array (read back without charging I/O) and the
     :class:`SortResult` with all accounting.  When *payloads* are given
     they travel with their keys; fetch them via
-    :meth:`SortResult.peek_sorted_records`.
+    :meth:`SortResult.peek_sorted_records`.  *faults* — a
+    :class:`~repro.faults.plan.FaultPlan` — arms deterministic fault
+    injection on the fresh system before any block is placed.
     """
     keys = np.asarray(keys, dtype=np.int64)
     if keys.size == 0:
         return keys.copy(), None  # type: ignore[return-value]
     system = ParallelDiskSystem(config.n_disks, config.block_size)
+    if faults is not None:
+        system.attach_faults(faults, telemetry=telemetry)
     infile = StripedFile.from_records(system, keys, payloads=payloads)
     result = srm_mergesort(
         system,

@@ -153,9 +153,11 @@ class RunWriter:
 
     def _emit(self, writes: list) -> None:
         """Perform one parallel write and fire the ``on_write`` hook."""
-        self.system.write_stripe(writes)
+        disks = self.system.write_stripe(writes)
         if self.on_write is not None:
-            self.on_write([a.disk for a, _ in writes])
+            # write_stripe reports the *physical* disks written (they
+            # differ from the allocated addresses in degraded mode).
+            self.on_write(disks)
 
     def _write_stripe(self, stripe: np.ndarray, lookahead: np.ndarray) -> None:
         """Write one full stripe; *lookahead* is the next stripe's data."""

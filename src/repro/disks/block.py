@@ -16,6 +16,7 @@ object rather than stealing record slots.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -54,6 +55,11 @@ class Block:
         Optional per-record payload handles (int64, aligned with
         ``keys``).  Payloads ride along with their keys through every
         algorithm; the scheduling never inspects them.
+    checksum:
+        Optional CRC-32 of the block's record bytes, sealed at write
+        time when fault injection is active so corrupted transfers are
+        detected on read rather than silently merged.  ``None`` means
+        unsealed (the fault-free default; verification is skipped).
     """
 
     keys: np.ndarray
@@ -61,6 +67,7 @@ class Block:
     index: int = 0
     forecast: tuple[float, ...] = field(default=())
     payloads: np.ndarray | None = None
+    checksum: int | None = None
 
     def __post_init__(self) -> None:
         self.keys = np.asarray(self.keys, dtype=np.int64)
@@ -92,6 +99,28 @@ class Block:
     def is_sorted(self) -> bool:
         """True if the block's keys are non-decreasing."""
         return bool(np.all(self.keys[:-1] <= self.keys[1:]))
+
+    # -- integrity --------------------------------------------------------
+
+    def compute_checksum(self) -> int:
+        """CRC-32 over the record bytes (keys, then payloads if any)."""
+        crc = zlib.crc32(self.keys.tobytes())
+        if self.payloads is not None:
+            crc = zlib.crc32(self.payloads.tobytes(), crc)
+        return crc
+
+    def seal(self) -> "Block":
+        """Stamp the block with its current checksum; returns ``self``."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    def verify(self) -> bool:
+        """True if the contents match the sealed checksum.
+
+        Unsealed blocks (``checksum is None``) verify trivially — the
+        fault-free pipeline never pays for hashing.
+        """
+        return self.checksum is None or self.compute_checksum() == self.checksum
 
 
 def split_into_blocks(

@@ -72,7 +72,7 @@ class StripedFile:
                     system.write_stripe(pending)
                     pending = []
             else:
-                system.disks[addr.disk].write(addr.slot, blk)
+                system.install_block(addr, blk)
         if pending:
             system.write_stripe(pending)
         return cls(addresses=addresses, n_records=int(keys.size), block_size=system.block_size)
@@ -173,7 +173,7 @@ class StripedRun:
                 system.write_stripe(stripe)
             else:
                 for addr, blk in stripe:
-                    system.disks[addr.disk].write(addr.slot, blk)
+                    system.install_block(addr, blk)
         return cls(
             run_id=run_id,
             start_disk=start_disk,

@@ -45,13 +45,26 @@ class DiskService:
     #: the per-spindle complement of ``busy_ms`` that the telemetry
     #: layer reports as the overlap engine's idle-gap signal.
     idle_ms: float = 0.0
+    #: Completion time of the last request, or ``None`` before the first
+    #: request arrives.  Tracked separately from ``free_at`` so the time
+    #: before a disk's first request is never attributed as an
+    #: inter-request idle gap (``free_at`` starts at 0.0 either way).
+    last_complete: float | None = None
 
-    def submit(self, issue_ms: float, service_ms: float) -> float:
-        """Accept a request at *issue_ms*; return its completion time."""
-        start = max(issue_ms, self.free_at)
-        self.idle_ms += start - self.free_at
+    def submit(
+        self, issue_ms: float, service_ms: float, not_before: float = 0.0
+    ) -> float:
+        """Accept a request at *issue_ms*; return its completion time.
+
+        *not_before* floors the service start (a fault-plan stall window
+        holds the head off the platter until the window ends).
+        """
+        start = max(issue_ms, self.free_at, not_before)
+        if self.last_complete is not None:
+            self.idle_ms += start - self.last_complete
         complete = start + service_ms
         self.free_at = complete
+        self.last_complete = complete
         self.busy_ms += service_ms
         self.ops += 1
         return complete
@@ -71,6 +84,14 @@ class ServiceNetwork:
     block_size:
         Records per block (service times assume full blocks, like the
         rest of the timing layer).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultInjector`.  When set,
+        each request's service time is scaled by the disk's straggler
+        latency factor, stall windows floor the service start, and
+        retry/backoff penalties accumulated by the synchronous data
+        path are drained into the affected disk's queue — so the
+        overlap engine's simulated clock feels the same faults the
+        block layer injected.
     """
 
     n_disks: int
@@ -81,6 +102,7 @@ class ServiceNetwork:
     write_busy_ms: float = 0.0
     read_ops: int = 0
     write_ops: int = 0
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         if self.n_disks < 1:
@@ -99,13 +121,25 @@ class ServiceNetwork:
         *disk_ids*.  Disks not listed stay untouched (they idle or keep
         draining their queues).
         """
-        service = self.timing.op_time_ms(self.block_size)
-        completes = [self.disks[d].submit(issue_ms, service) for d in disk_ids]
+        base = self.timing.op_time_ms(self.block_size)
+        inj = self.faults
+        completes = []
+        busy = 0.0
+        for d in disk_ids:
+            service = base
+            not_before = 0.0
+            if inj is not None:
+                service = service * inj.latency_factor(d)
+                service += inj.take_penalty_ms(d)
+                candidate = max(issue_ms, self.disks[d].free_at)
+                not_before = inj.stall_release(d, candidate)
+            completes.append(self.disks[d].submit(issue_ms, service, not_before))
+            busy += service
         if kind == "write":
-            self.write_busy_ms += service * len(disk_ids)
+            self.write_busy_ms += busy
             self.write_ops += 1
         else:
-            self.read_busy_ms += service * len(disk_ids)
+            self.read_busy_ms += busy
             self.read_ops += 1
         return completes
 

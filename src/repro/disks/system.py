@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, NamedTuple, Optional, Sequence
 
-from ..errors import ConfigError, InvalidIOError
+from ..errors import ConfigError, DiskDeadError, InvalidIOError
 from .block import Block
 from .counters import IOStats
 from .disk import Disk
@@ -81,15 +81,134 @@ class ParallelDiskSystem:
         self.channel_rounds = 0
         #: Optional IOTrace; assign one to record every operation.
         self.trace = None
+        #: Fault injection state (see :meth:`attach_faults`).  ``None``
+        #: keeps every I/O on the original fault-free fast path.
+        self.faults = None
+        self.retry_policy = None
+        self.breaker = None
+        #: Disks that have permanently failed.
+        self.dead_disks: set[int] = set()
+        #: Migrated addresses: original -> survivor location.  Callers
+        #: keep their original addresses; :meth:`resolve` follows chains.
+        self._remap: dict[BlockAddress, BlockAddress] = {}
+        self._redirect_rr = 0
+        #: One :class:`~repro.faults.degraded.DeathReport` per disk loss.
+        self.death_reports: list = []
+
+    # -- fault injection --------------------------------------------------
+
+    def attach_faults(self, plan, retry=None, telemetry=None) -> None:
+        """Arm this system with a seeded fault plan.
+
+        Parameters
+        ----------
+        plan:
+            A :class:`~repro.faults.plan.FaultPlan` (or an already
+            constructed :class:`~repro.faults.plan.FaultInjector`).
+        retry:
+            Optional :class:`~repro.faults.retry.RetryPolicy`; defaults
+            to :data:`~repro.faults.retry.DEFAULT_RETRY`.
+        telemetry:
+            Optional :class:`~repro.telemetry.Telemetry`; fault events
+            and counters land in its registry under ``faults.*``.
+
+        Must be called before any data is written: blocks are sealed
+        with checksums at write time, so pre-attach writes would be
+        unverifiable (their corruption counts as undetected).
+        """
+        from ..faults.plan import FaultInjector
+        from ..faults.retry import DEFAULT_RETRY, CircuitBreaker
+
+        if self.faults is not None:
+            raise ConfigError("faults already attached to this system")
+        if isinstance(plan, FaultInjector):
+            inj = plan
+        else:
+            inj = FaultInjector(
+                plan, self.n_disks, retry=retry, telemetry=telemetry
+            )
+        self.faults = inj
+        self.retry_policy = inj.retry if retry is None else retry
+        self.breaker = CircuitBreaker()
+
+    @property
+    def degraded(self) -> bool:
+        """True once at least one disk has died."""
+        return bool(self.dead_disks)
+
+    def resolve(self, addr: BlockAddress) -> BlockAddress:
+        """Physical location of *addr*, following degraded-mode remaps."""
+        remap = self._remap
+        while addr in remap:
+            addr = remap[addr]
+        return addr
+
+    def peek(self, addr: BlockAddress) -> Block:
+        """Read a block without charging I/O (verification aid)."""
+        a = self.resolve(addr)
+        return self.disks[a.disk].read(a.slot)
+
+    def install_block(self, addr: BlockAddress, block: Block) -> None:
+        """Place *block* at *addr* without charging I/O.
+
+        Models pre-existing data (input files); when faults are armed
+        the block is sealed so later corrupted transfers are detectable.
+        """
+        tgt = self.resolve(addr)
+        if self.faults is not None:
+            if tgt.disk in self.dead_disks:
+                new = self.allocate(tgt.disk)
+                self._remap[tgt] = new
+                tgt = new
+            block.seal()
+        self.disks[tgt.disk].write(tgt.slot, block)
+
+    def _next_survivor(self) -> int:
+        survivors = [
+            d for d in range(self.n_disks) if d not in self.dead_disks
+        ]
+        if not survivors:
+            raise DiskDeadError(f"all {self.n_disks} disks have died")
+        d = survivors[self._redirect_rr % len(survivors)]
+        self._redirect_rr += 1
+        return d
+
+    def _kill_disk(self, disk: int, trigger: str) -> None:
+        """Declare *disk* dead and recover its blocks onto the survivors."""
+        from ..faults.degraded import migrate_dead_disk
+
+        self.dead_disks.add(disk)
+        report = migrate_dead_disk(self, disk, trigger)
+        self.faults.mark_dead(disk, trigger, report.recovered_blocks)
+        self.death_reports.append(report)
+
+    def _charge_backoff(self, disk: int, backoff_ms: float) -> None:
+        """Account one retry delay on the clock and the disk's queue."""
+        self.faults.count_retry(disk, backoff_ms)
+        if self.timing is not None:
+            self.elapsed_ms += backoff_ms
 
     # -- allocation ------------------------------------------------------
 
     def allocate(self, disk: int) -> BlockAddress:
-        """Reserve a slot on *disk* and return its address."""
+        """Reserve a slot on *disk* and return its address.
+
+        In degraded mode a request for a dead disk is redirected
+        round-robin onto the survivors (new data never lands on a lost
+        spindle; the logical layout rule keeps naming the dead disk).
+        """
+        if self.dead_disks and disk in self.dead_disks:
+            disk = self._next_survivor()
+            self.faults.count_redirect()
         return BlockAddress(disk, self.disks[disk].allocate())
 
     def free(self, addr: BlockAddress) -> None:
         """Release the slot at *addr* (discarding any live block)."""
+        addr = self.resolve(addr)
+        if addr.disk in self.dead_disks:
+            # The slot vanished with its spindle (allocated, never
+            # written before the death) — nothing to release.
+            return
         self.disks[addr.disk].free(addr.slot)
 
     # -- parallel I/O ------------------------------------------------------
@@ -127,6 +246,8 @@ class ParallelDiskSystem:
         -------
         list of blocks positionally matching *addresses*.
         """
+        if self.faults is not None:
+            return self._read_stripe_faulty(addresses)
         live = [a for a in addresses if a is not None]
         if not live:
             return [None] * len(addresses)
@@ -140,14 +261,23 @@ class ParallelDiskSystem:
             self.trace.record("read", [a.disk for a in live], self.elapsed_ms)
         return out
 
-    def write_stripe(self, writes: Sequence[tuple[BlockAddress, Block]]) -> None:
+    def write_stripe(
+        self, writes: Sequence[tuple[BlockAddress, Block]]
+    ) -> list[int]:
         """Perform one parallel write of ``(address, block)`` pairs.
 
         All addresses must be on pairwise-distinct disks.  An empty
         request costs no I/O.
+
+        Returns the physical disks written, positionally matching
+        *writes* — identical to the address disks fault-free, but
+        possibly relocated onto survivors in degraded mode (callers
+        such as the overlap engine need the *physical* spindles).
         """
         if not writes:
-            return
+            return []
+        if self.faults is not None:
+            return self._write_stripe_faulty(writes)
         self._check_one_per_disk([a.disk for a, _ in writes])
         for addr, block in writes:
             self.disks[addr.disk].write(addr.slot, block)
@@ -155,6 +285,149 @@ class ParallelDiskSystem:
         self._advance_clock(len(writes))
         if self.trace is not None:
             self.trace.record("write", [a.disk for a, _ in writes], self.elapsed_ms)
+        return [a.disk for a, _ in writes]
+
+    # -- fault-injected I/O paths ------------------------------------------
+    #
+    # Mirrors of read_stripe/write_stripe taken only when faults are
+    # armed.  Differences: addresses go through resolve(), reads run the
+    # retry/checksum/escalation loop, and a stripe whose blocks resolve
+    # onto colliding physical disks is split into multiple accounting
+    # rounds (the degraded-mode overhead, counted as
+    # ``faults.degraded_split_ios``).
+
+    def _account_round(self, kind: str, disks: list[int]) -> None:
+        if not disks:
+            return
+        if kind == "read":
+            self.stats.record_read(disks)
+        else:
+            self.stats.record_write(disks)
+        self._advance_clock(len(disks))
+        if self.trace is not None:
+            self.trace.record(kind, disks, self.elapsed_ms)
+
+    def _account_rounds(self, kind: str, physical_disks: list[int]) -> None:
+        """Charge operations, splitting same-disk collisions into rounds."""
+        rounds = 0
+        used: set[int] = set()
+        group: list[int] = []
+        for d in physical_disks:
+            if d in used:
+                self._account_round(kind, group)
+                rounds += 1
+                used, group = set(), []
+            used.add(d)
+            group.append(d)
+        if group:
+            self._account_round(kind, group)
+            rounds += 1
+        if rounds > 1:
+            self.faults.count_split_ios(rounds - 1)
+
+    def _read_stripe_faulty(
+        self, addresses: Sequence[Optional[BlockAddress]]
+    ) -> list[Optional[Block]]:
+        out: list[Optional[Block]] = [None] * len(addresses)
+        disks: list[int] = []
+        for i, a in enumerate(addresses):
+            if a is None:
+                continue
+            blk, d = self._read_one_with_retry(a)
+            out[i] = blk
+            disks.append(d)
+        self._account_rounds("read", disks)
+        return out
+
+    def _read_one_with_retry(self, orig: BlockAddress) -> tuple[Block, int]:
+        """Read one block under the fault plan; returns (block, disk).
+
+        Each pass resolves the address, asks the plan for this read's
+        fate, and runs the retry ladder.  A circuit-breaker trip or an
+        exhausted ladder escalates to disk death — degraded migration
+        re-homes the block, and the loop re-resolves onto the survivor.
+        """
+        inj = self.faults
+        pol = self.retry_policy
+        while True:
+            addr = self.resolve(orig)
+            d = addr.disk
+            if d in self.dead_disks:
+                raise DiskDeadError(
+                    f"block at {tuple(orig)} lives only on dead disk {d}"
+                )
+            if inj.death_due(d):
+                self._kill_disk(d, "planned")
+                continue
+            outcome = inj.plan_read(d)
+            corrupt_pending = outcome.corrupt
+            killed = False
+            for attempt in range(pol.max_attempts):
+                if attempt < outcome.n_failures:
+                    inj.count_transient()
+                    if self.breaker.record_failure(d):
+                        inj.count_breaker_trip()
+                        self._kill_disk(d, "breaker")
+                        killed = True
+                        break
+                    self._charge_backoff(d, pol.backoff_ms(attempt, inj.rng(d)))
+                    continue
+                blk = self.disks[d].read(addr.slot)
+                if corrupt_pending:
+                    corrupt_pending = False
+                    inj.count_corrupt()
+                    from ..faults.plan import corrupt_copy
+
+                    bad = corrupt_copy(blk, inj.rng(d))
+                    if not bad.verify():
+                        # Checksum caught the bad transfer: one more
+                        # failed attempt, then re-read the pristine data.
+                        inj.count_detected()
+                        if self.breaker.record_failure(d):
+                            inj.count_breaker_trip()
+                            self._kill_disk(d, "breaker")
+                            killed = True
+                            break
+                        self._charge_backoff(
+                            d, pol.backoff_ms(attempt, inj.rng(d))
+                        )
+                        continue
+                    # Unsealed block: the corruption is invisible.  The
+                    # chaos harness asserts this counter stays zero.
+                    inj.count_undetected()
+                    self.breaker.record_success(d)
+                    inj.note_op(d)
+                    return bad, d
+                self.breaker.record_success(d)
+                inj.note_op(d)
+                return blk, d
+            if not killed:
+                # Retry budget exhausted without a clean read — treat
+                # the spindle as failed and recover from the survivors.
+                self._kill_disk(d, "retry_exhausted")
+
+    def _write_stripe_faulty(
+        self, writes: Sequence[tuple[BlockAddress, Block]]
+    ) -> list[int]:
+        inj = self.faults
+        disks: list[int] = []
+        for addr, block in writes:
+            tgt = self.resolve(addr)
+            if inj.death_due(tgt.disk):
+                self._kill_disk(tgt.disk, "planned")
+                tgt = self.resolve(addr)
+            if tgt.disk in self.dead_disks:
+                # Allocated before the death, written after: relocate
+                # the slot onto a survivor and remember the move.
+                new = self.allocate(tgt.disk)
+                self._remap[tgt] = new
+                tgt = new
+            block.seal()
+            self.disks[tgt.disk].write(tgt.slot, block)
+            inj.note_op(tgt.disk)
+            disks.append(tgt.disk)
+        self._account_rounds("write", disks)
+        return disks
 
     def read_batch(self, addresses: Iterable[BlockAddress]) -> tuple[list[Block], int]:
         """Read arbitrarily many blocks using greedy stripe packing.

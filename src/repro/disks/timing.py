@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigError
+
 
 @dataclass(frozen=True, slots=True)
 class DiskTimingModel:
@@ -37,6 +39,25 @@ class DiskTimingModel:
     rpm: float = 5400.0
     transfer_mb_per_s: float = 5.0
     record_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        # rpm and the transfer rate are divisors downstream; zero would
+        # surface as a far-away ZeroDivisionError instead of a clear
+        # configuration failure.
+        if self.rpm <= 0:
+            raise ConfigError(f"rpm must be > 0, got {self.rpm}")
+        if self.transfer_mb_per_s <= 0:
+            raise ConfigError(
+                f"transfer_mb_per_s must be > 0, got {self.transfer_mb_per_s}"
+            )
+        if self.record_bytes <= 0:
+            raise ConfigError(
+                f"record_bytes must be > 0, got {self.record_bytes}"
+            )
+        if self.avg_seek_ms < 0:
+            raise ConfigError(
+                f"avg_seek_ms must be >= 0, got {self.avg_seek_ms}"
+            )
 
     @property
     def avg_rotation_ms(self) -> float:

@@ -38,6 +38,25 @@ class InvalidIOError(DiskError):
     """
 
 
+class ChecksumError(DiskError):
+    """A block read back from disk failed its checksum verification.
+
+    Raised only when corruption survives every retry the
+    :class:`~repro.faults.retry.RetryPolicy` allows; a single corrupted
+    transfer is retried, not raised.
+    """
+
+
+class DiskDeadError(DiskError):
+    """An operation targets a disk that has permanently failed.
+
+    Degraded mode normally remaps dead-disk blocks onto the surviving
+    spindles transparently; this error surfaces only when no survivor
+    exists (every disk has died) or a fault plan kills the sole disk of
+    a D = 1 system.
+    """
+
+
 class ScheduleError(ReproError):
     """The SRM I/O scheduler detected an invariant violation.
 

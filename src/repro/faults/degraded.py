@@ -1,0 +1,103 @@
+"""Degraded-mode operation: surviving a permanent disk loss mid-merge.
+
+SRM is unusually well positioned for disk death because §5's flushing
+already proves any buffered block can be forgotten and re-read — block
+contents are never only-in-memory state the merge depends on.  What
+death removes is a *location*: the cyclic layout rule says block ``i``
+of a run lives on disk ``(start + i) mod D``, and that disk no longer
+answers.
+
+The recovery model is replica rebuild, as production arrays do it:
+
+* the dead disk's live blocks are re-materialized (from the replica /
+  parity the simulation does not model, so the *reads* are uncharged)
+  and written round-robin onto the surviving ``D - 1`` disks — those
+  **writes are charged** as real parallel I/O, the visible cost spike of
+  a rebuild;
+* a remap table redirects every migrated address, so run extent maps,
+  the scheduler, and the forecasting structure keep speaking *logical*
+  disks — the FDS matrix, the layout rule, and Theorem 1's accounting
+  stay untouched;
+* later operations whose stripes now touch one survivor twice are split
+  into extra rounds, counted as ``faults.degraded_split_ios`` — the
+  steady-state degraded overhead.
+
+The merge therefore continues bit-identically: which records come out
+in which order was never a function of where blocks physically live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DiskDeadError
+
+__all__ = ["DeathReport", "migrate_dead_disk"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeathReport:
+    """Outcome of one disk-loss recovery."""
+
+    disk: int
+    trigger: str
+    recovered_blocks: int
+    recovery_write_rounds: int
+    survivors: tuple[int, ...]
+
+
+def migrate_dead_disk(system, disk: int, trigger: str) -> DeathReport:
+    """Move *disk*'s live blocks onto the survivors and install remaps.
+
+    Called by :meth:`ParallelDiskSystem._kill_disk` with *disk* already
+    in ``system.dead_disks``.  Blocks are taken in slot order and placed
+    round-robin, so recovery is deterministic; each group of
+    ``len(survivors)`` recovery writes is charged as one parallel
+    operation.
+    """
+    from ..disks.system import BlockAddress
+
+    survivors = [
+        d
+        for d in range(system.n_disks)
+        if d != disk and d not in system.dead_disks
+    ]
+    if not survivors:
+        raise DiskDeadError(
+            f"disk {disk} died and no surviving disk remains (D={system.n_disks})"
+        )
+    dead = system.disks[disk]
+    slots = sorted(dead._slots)
+    rounds = 0
+    group: list[int] = []
+    for i, slot in enumerate(slots):
+        target = survivors[i % len(survivors)]
+        new_slot = system.disks[target].allocate()
+        system.disks[target].write(new_slot, dead._slots[slot])
+        system._remap[BlockAddress(disk, slot)] = BlockAddress(target, new_slot)
+        group.append(target)
+        if len(group) == len(survivors):
+            _charge_recovery_write(system, group)
+            rounds += 1
+            group = []
+    if group:
+        _charge_recovery_write(system, group)
+        rounds += 1
+    # The spindle is gone; dropping its slot map makes any unresolved
+    # access fail loudly instead of reading a ghost.
+    dead._slots.clear()
+    return DeathReport(
+        disk=disk,
+        trigger=trigger,
+        recovered_blocks=len(slots),
+        recovery_write_rounds=rounds,
+        survivors=tuple(survivors),
+    )
+
+
+def _charge_recovery_write(system, disks: list[int]) -> None:
+    """Account one parallel recovery-write round on *disks*."""
+    system.stats.record_write(disks)
+    system._advance_clock(len(disks))
+    if system.trace is not None:
+        system.trace.record("write", disks, system.elapsed_ms)

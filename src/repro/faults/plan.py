@@ -1,0 +1,485 @@
+"""Declarative, RNG-seeded fault plans and their injector.
+
+A :class:`FaultPlan` is a pure description of what should go wrong:
+transient read failures with probability ``p``, straggler latency
+multipliers on chosen spindles, stall windows, corrupted transfers, and
+a permanent disk death at operation ``k``.  The :class:`FaultInjector`
+turns a plan into deterministic per-disk event streams — each disk gets
+its own child generator from :func:`repro.rng.spawn`, and a stream is
+only consulted when the matching probability is non-zero — so a seeded
+plan replays bit-identically regardless of telemetry, overlap mode, or
+which scenarios ran before it.
+
+The injector is consulted from two places: the
+:class:`~repro.disks.system.ParallelDiskSystem` block layer (what fails,
+what gets corrupted, what dies) and the
+:class:`~repro.disks.service.ServiceNetwork` queueing layer (how long
+the surviving requests take).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import spawn
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import (
+    EV_DISK_DEATH,
+    FAULT_BREAKER_TRIPS,
+    FAULT_CHECKSUM_DETECTED,
+    FAULT_CORRUPT_INJECTED,
+    FAULT_DEGRADED_SPLIT_IOS,
+    FAULT_DISK_DEATHS,
+    FAULT_RECOVERY_BLOCKS,
+    FAULT_REDIRECTED_ALLOCS,
+    FAULT_RETRIES,
+    FAULT_STALL_MS,
+    FAULT_TRANSIENT_FAILURES,
+    FAULT_UNDETECTED_CORRUPTIONS,
+    H_FAULT_BACKOFF,
+    backoff_edges,
+)
+from .retry import DEFAULT_RETRY, RetryPolicy
+
+__all__ = [
+    "StallWindow",
+    "DiskDeath",
+    "FaultPlan",
+    "FaultStats",
+    "ReadOutcome",
+    "FaultInjector",
+    "corrupt_copy",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StallWindow:
+    """A spindle serves nothing during ``[start_ms, start_ms + duration_ms)``.
+
+    Stalls act on the simulated service clock, so they are felt by the
+    overlapped-I/O engine's :class:`~repro.disks.service.ServiceNetwork`
+    (requests whose service would start inside the window wait for its
+    end); the operation-counting layer is stall-transparent, exactly
+    like a real elevator pause changes latencies but not I/O counts.
+    """
+
+    disk: int
+    start_ms: float
+    duration_ms: float
+
+    def __post_init__(self) -> None:
+        if self.disk < 0:
+            raise ConfigError(f"stall disk must be >= 0, got {self.disk}")
+        if self.start_ms < 0 or self.duration_ms <= 0:
+            raise ConfigError(
+                f"stall window needs start >= 0 and duration > 0, got "
+                f"[{self.start_ms}, +{self.duration_ms})"
+            )
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+
+@dataclass(frozen=True, slots=True)
+class DiskDeath:
+    """Permanent loss of *disk* once it has served *after_ops* block ops.
+
+    Reads and writes both count, so "mid-merge" is expressible as half
+    the disk's fault-free operation count.  The death fires on the next
+    operation that would touch the disk; degraded mode then recovers its
+    live blocks onto the survivors before the operation proceeds.
+    """
+
+    disk: int
+    after_ops: int
+
+    def __post_init__(self) -> None:
+        if self.disk < 0:
+            raise ConfigError(f"death disk must be >= 0, got {self.disk}")
+        if self.after_ops < 0:
+            raise ConfigError(
+                f"death after_ops must be >= 0, got {self.after_ops}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seedable schedule of injectable faults.
+
+    Attributes
+    ----------
+    seed:
+        Root seed for the per-disk event streams.
+    read_fail_p:
+        Per-read probability of a transient failure (the transfer
+        returns garbage and must be retried).
+    corrupt_p:
+        Per-read probability that the transfer silently flips bits; the
+        block checksum must catch it.
+    max_consecutive_failures:
+        Cap on injected back-to-back transient failures for one block
+        read.  Keep it below the retry policy's ``max_attempts`` for
+        retry-and-recover behaviour; raise it past the circuit-breaker
+        threshold to exercise breaker escalation (disk death).
+    fail_disks:
+        Restrict transient failures and corruptions to these disks
+        (``None`` = all disks).  A failure burst scoped to one spindle
+        models a single flaky drive: its breaker trips while the
+        survivors stay clean.
+    latency_factors:
+        ``{disk: multiplier}`` straggler map; service times on listed
+        spindles are scaled (felt by the overlap engine's clock).
+    stalls:
+        Stall windows on the simulated service clock.
+    death:
+        Optional permanent disk death.
+    """
+
+    seed: int = 0
+    read_fail_p: float = 0.0
+    corrupt_p: float = 0.0
+    max_consecutive_failures: int = 2
+    fail_disks: Optional[tuple[int, ...]] = None
+    latency_factors: Mapping[int, float] = field(default_factory=dict)
+    stalls: tuple[StallWindow, ...] = ()
+    death: Optional[DiskDeath] = None
+
+    def __post_init__(self) -> None:
+        for name in ("read_fail_p", "corrupt_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {p}")
+        if self.max_consecutive_failures < 0:
+            raise ConfigError(
+                "max_consecutive_failures must be >= 0, got "
+                f"{self.max_consecutive_failures}"
+            )
+        if self.fail_disks is not None:
+            object.__setattr__(self, "fail_disks", tuple(self.fail_disks))
+            for disk in self.fail_disks:
+                if disk < 0:
+                    raise ConfigError(f"fail disk must be >= 0, got {disk}")
+        for disk, f in self.latency_factors.items():
+            if disk < 0 or f <= 0:
+                raise ConfigError(
+                    f"latency factor for disk {disk} must be > 0, got {f}"
+                )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.read_fail_p == 0.0
+            and self.corrupt_p == 0.0
+            and not self.latency_factors
+            and not self.stalls
+            and self.death is None
+        )
+
+    def describe(self) -> str:
+        """One-line human summary for reports and the chaos CLI."""
+        parts = [f"seed={self.seed}"]
+        if self.read_fail_p:
+            parts.append(f"read_fail_p={self.read_fail_p}")
+        if self.corrupt_p:
+            parts.append(f"corrupt_p={self.corrupt_p}")
+        if self.fail_disks is not None and (self.read_fail_p or self.corrupt_p):
+            parts.append(f"fail_disks={list(self.fail_disks)}")
+        if self.latency_factors:
+            parts.append(
+                "stragglers={"
+                + ", ".join(
+                    f"{d}: x{f:g}" for d, f in sorted(self.latency_factors.items())
+                )
+                + "}"
+            )
+        if self.stalls:
+            parts.append(f"stalls={len(self.stalls)}")
+        if self.death is not None:
+            parts.append(
+                f"death(disk={self.death.disk}, after={self.death.after_ops} ops)"
+            )
+        return ", ".join(parts) if len(parts) > 1 else "no faults"
+
+
+@dataclass
+class FaultStats:
+    """Injection and recovery counts, mirrored into the ``faults.*`` metrics."""
+
+    transient_failures: int = 0
+    retries: int = 0
+    backoff_ms_total: float = 0.0
+    corrupt_injected: int = 0
+    checksum_detected: int = 0
+    undetected_corruptions: int = 0
+    disk_deaths: int = 0
+    recovery_blocks: int = 0
+    degraded_split_ios: int = 0
+    breaker_trips: int = 0
+    redirected_allocations: int = 0
+    stall_ms: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(slots=True)
+class ReadOutcome:
+    """What the plan decreed for one block read: failures, then the data.
+
+    ``n_failures`` transient failures precede the successful transfer;
+    ``corrupt`` flags that the first completed transfer arrives with
+    flipped bits (a retry re-reads the pristine block).
+    """
+
+    n_failures: int = 0
+    corrupt: bool = False
+
+
+def corrupt_copy(block, rng: np.random.Generator):
+    """A copy of *block* with one key bit-flipped, checksum untouched.
+
+    The stored block is never mutated — corruption models a bad
+    *transfer*, so retrying the read observes the pristine data.
+    """
+    keys = block.keys.copy()
+    pos = int(rng.integers(0, keys.size))
+    keys[pos] = np.int64(keys[pos]) ^ np.int64(0x5A5A5A5A)
+    cls = type(block)
+    return cls(
+        keys=keys,
+        run_id=block.run_id,
+        index=block.index,
+        forecast=block.forecast,
+        payloads=None if block.payloads is None else block.payloads.copy(),
+        checksum=block.checksum,
+    )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` as deterministic per-disk streams.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule.
+    n_disks:
+        ``D`` of the system under test; plan references outside
+        ``0..D-1`` (and a death with no possible survivor) are rejected.
+    retry:
+        Backoff policy; its parameters shape the backoff histogram
+        buckets.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`; the injector
+        mirrors every :class:`FaultStats` field into the canonical
+        ``faults.*`` metrics and emits a ``disk_death`` event per loss.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        n_disks: int,
+        retry: RetryPolicy | None = None,
+        telemetry=None,
+    ) -> None:
+        if n_disks < 1:
+            raise ConfigError(f"need at least one disk, got D={n_disks}")
+        for disk in plan.fail_disks or ():
+            if disk >= n_disks:
+                raise ConfigError(
+                    f"fail_disks targets disk {disk}, system has D={n_disks}"
+                )
+        for disk in plan.latency_factors:
+            if disk >= n_disks:
+                raise ConfigError(
+                    f"latency factor targets disk {disk}, system has D={n_disks}"
+                )
+        for w in plan.stalls:
+            if w.disk >= n_disks:
+                raise ConfigError(
+                    f"stall window targets disk {w.disk}, system has D={n_disks}"
+                )
+        if plan.death is not None:
+            if plan.death.disk >= n_disks:
+                raise ConfigError(
+                    f"death targets disk {plan.death.disk}, system has D={n_disks}"
+                )
+            if n_disks < 2:
+                raise ConfigError(
+                    "a disk death needs at least one survivor (D >= 2)"
+                )
+        self.plan = plan
+        self.n_disks = n_disks
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.stats = FaultStats()
+        self._rngs = spawn(plan.seed, n_disks)
+        self._ops = [0] * n_disks
+        self._dead: set[int] = set()
+        #: Backoff penalties accumulated by the synchronous retry loop,
+        #: drained into the queueing model by ``ServiceNetwork.submit``.
+        self._penalty_ms = [0.0] * n_disks
+        self._stalls_by_disk: dict[int, list[StallWindow]] = {}
+        for w in plan.stalls:
+            self._stalls_by_disk.setdefault(w.disk, []).append(w)
+        for ws in self._stalls_by_disk.values():
+            ws.sort(key=lambda w: w.start_ms)
+        tel = telemetry if telemetry is not None else TELEMETRY_OFF
+        self._c_transient = tel.counter(FAULT_TRANSIENT_FAILURES)
+        self._c_retries = tel.counter(FAULT_RETRIES)
+        self._c_corrupt = tel.counter(FAULT_CORRUPT_INJECTED)
+        self._c_detected = tel.counter(FAULT_CHECKSUM_DETECTED)
+        self._c_undetected = tel.counter(FAULT_UNDETECTED_CORRUPTIONS)
+        self._c_deaths = tel.counter(FAULT_DISK_DEATHS)
+        self._c_recovered = tel.counter(FAULT_RECOVERY_BLOCKS)
+        self._c_split = tel.counter(FAULT_DEGRADED_SPLIT_IOS)
+        self._c_breaker = tel.counter(FAULT_BREAKER_TRIPS)
+        self._c_redirect = tel.counter(FAULT_REDIRECTED_ALLOCS)
+        self._c_stall = tel.counter(FAULT_STALL_MS)
+        self._h_backoff = tel.histogram(
+            H_FAULT_BACKOFF,
+            backoff_edges(self.retry.base_ms, self.retry.cap_ms, self.retry.factor),
+        )
+        self._tel = tel
+
+    # -- RNG access -------------------------------------------------------
+
+    def rng(self, disk: int) -> np.random.Generator:
+        """The deterministic event stream of *disk*."""
+        return self._rngs[disk]
+
+    # -- block-layer decisions -------------------------------------------
+
+    def plan_read(self, disk: int) -> ReadOutcome:
+        """Decide this read's fate on *disk* (consumes the disk's stream).
+
+        Streams are consulted only for features the plan enables, so a
+        plan with ``corrupt_p=0`` draws no corruption randomness — two
+        plans differing in one feature stay comparable on the others.
+        """
+        out = ReadOutcome()
+        plan = self.plan
+        if plan.fail_disks is not None and disk not in plan.fail_disks:
+            return out
+        if plan.read_fail_p > 0.0:
+            gen = self._rngs[disk]
+            while (
+                out.n_failures < plan.max_consecutive_failures
+                and float(gen.random()) < plan.read_fail_p
+            ):
+                out.n_failures += 1
+        if plan.corrupt_p > 0.0:
+            out.corrupt = float(self._rngs[disk].random()) < plan.corrupt_p
+        return out
+
+    def note_op(self, disk: int) -> None:
+        """Count one completed block operation on *disk* (read or write)."""
+        self._ops[disk] += 1
+
+    def ops_on(self, disk: int) -> int:
+        return self._ops[disk]
+
+    def death_due(self, disk: int) -> bool:
+        """True if the planned death should fire before touching *disk*."""
+        d = self.plan.death
+        return (
+            d is not None
+            and d.disk == disk
+            and disk not in self._dead
+            and self._ops[disk] >= d.after_ops
+        )
+
+    def is_dead(self, disk: int) -> bool:
+        return disk in self._dead
+
+    def mark_dead(self, disk: int, trigger: str, recovered_blocks: int) -> None:
+        """Record a permanent disk loss (after migration completed)."""
+        self._dead.add(disk)
+        self.stats.disk_deaths += 1
+        self.stats.recovery_blocks += recovered_blocks
+        self._c_deaths.inc()
+        self._c_recovered.inc(recovered_blocks)
+        self._tel.event(
+            EV_DISK_DEATH,
+            disk=disk,
+            trigger=trigger,
+            recovered_blocks=recovered_blocks,
+            ops_served=self._ops[disk],
+        )
+
+    # -- accounting hooks -------------------------------------------------
+
+    def count_transient(self) -> None:
+        self.stats.transient_failures += 1
+        self._c_transient.inc()
+
+    def count_retry(self, disk: int, backoff_ms: float) -> None:
+        self.stats.retries += 1
+        self.stats.backoff_ms_total += backoff_ms
+        self._c_retries.inc()
+        self._h_backoff.observe(backoff_ms)
+        self._penalty_ms[disk] += backoff_ms
+
+    def count_corrupt(self) -> None:
+        self.stats.corrupt_injected += 1
+        self._c_corrupt.inc()
+
+    def count_detected(self) -> None:
+        self.stats.checksum_detected += 1
+        self._c_detected.inc()
+
+    def count_undetected(self) -> None:
+        self.stats.undetected_corruptions += 1
+        self._c_undetected.inc()
+
+    def count_split_ios(self, extra_rounds: int) -> None:
+        self.stats.degraded_split_ios += extra_rounds
+        self._c_split.inc(extra_rounds)
+
+    def count_breaker_trip(self) -> None:
+        self.stats.breaker_trips += 1
+        self._c_breaker.inc()
+
+    def count_redirect(self) -> None:
+        self.stats.redirected_allocations += 1
+        self._c_redirect.inc()
+
+    # -- queueing-layer hooks (ServiceNetwork) ----------------------------
+
+    def latency_factor(self, disk: int) -> float:
+        """Straggler multiplier for *disk* (1.0 when unlisted)."""
+        return float(self.plan.latency_factors.get(disk, 1.0))
+
+    def stall_release(self, disk: int, candidate_ms: float) -> float:
+        """Earliest service start at or after *candidate_ms* on *disk*.
+
+        A start landing inside a stall window slides to the window's
+        end (repeatedly, for chained windows); the slid time is counted
+        as ``faults.stall_ms``.
+        """
+        windows = self._stalls_by_disk.get(disk)
+        if not windows:
+            return 0.0
+        t = candidate_ms
+        moved = True
+        while moved:
+            moved = False
+            for w in windows:
+                if w.start_ms <= t < w.end_ms:
+                    t = w.end_ms
+                    moved = True
+        if t > candidate_ms:
+            self.stats.stall_ms += t - candidate_ms
+            self._c_stall.inc(t - candidate_ms)
+        return t
+
+    def take_penalty_ms(self, disk: int) -> float:
+        """Drain retry/backoff penalties accumulated for *disk*."""
+        p = self._penalty_ms[disk]
+        if p:
+            self._penalty_ms[disk] = 0.0
+        return p

@@ -1,0 +1,109 @@
+"""Retry policy and per-disk circuit breaking.
+
+A transient read failure (or a detected corrupt transfer) is retried
+with capped exponential backoff; jitter is drawn from the injector's
+per-disk RNG stream so a seeded fault plan replays bit-identically.
+Failures that keep repeating on one spindle trip its circuit breaker,
+which escalates the fault from "retry this block" to "this disk is
+dead" — at which point degraded mode (:mod:`repro.faults.degraded`)
+takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "DEFAULT_RETRY"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Read attempts per block before the failure escalates to a
+        disk-level event (the disk is declared dead and degraded mode
+        recovers the block from a survivor).
+    base_ms / factor / cap_ms:
+        Attempt ``i`` (0-based) backs off ``min(cap, base * factor**i)``
+        milliseconds before jitter.
+    jitter:
+        Fractional jitter: the delay is scaled by ``1 + jitter * u``
+        with ``u ~ U[0, 1)`` from the caller-supplied generator.  Zero
+        disables the draw entirely (no RNG consumption).
+    """
+
+    max_attempts: int = 4
+    base_ms: float = 1.0
+    factor: float = 2.0
+    cap_ms: float = 50.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_ms <= 0 or self.cap_ms < self.base_ms:
+            raise ConfigError(
+                f"need 0 < base_ms <= cap_ms, got base={self.base_ms} "
+                f"cap={self.cap_ms}"
+            )
+        if self.factor < 1.0:
+            raise ConfigError(f"factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_ms(self, attempt: int, rng: np.random.Generator | None) -> float:
+        """Delay before retrying after the *attempt*-th failure (0-based)."""
+        delay = min(self.cap_ms, self.base_ms * self.factor**attempt)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+
+#: The policy used when none is supplied to ``attach_faults``.
+DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-disk consecutive-failure escalation.
+
+    Every failed read attempt on a disk increments its counter; any
+    success resets it.  Reaching *threshold* consecutive failures trips
+    the breaker — the caller treats the disk as permanently failed.
+    """
+
+    threshold: int = 5
+    _consecutive: dict[int, int] = field(default_factory=dict)
+    trips: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigError(
+                f"breaker threshold must be >= 1, got {self.threshold}"
+            )
+
+    def record_failure(self, disk: int) -> bool:
+        """Count one failure on *disk*; True if the breaker trips now."""
+        n = self._consecutive.get(disk, 0) + 1
+        self._consecutive[disk] = n
+        if n == self.threshold:
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self, disk: int) -> None:
+        """A successful read closes the failure streak."""
+        self._consecutive.pop(disk, None)
+
+    def failures(self, disk: int) -> int:
+        """Current consecutive-failure count for *disk*."""
+        return self._consecutive.get(disk, 0)

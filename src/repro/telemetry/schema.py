@@ -45,12 +45,26 @@ __all__ = [
     "H_RUN_LENGTH",
     "H_WRITER_OCCUPANCY",
     "H_OVERLAP_QUEUE_DEPTH",
+    "FAULT_TRANSIENT_FAILURES",
+    "FAULT_RETRIES",
+    "FAULT_CORRUPT_INJECTED",
+    "FAULT_CHECKSUM_DETECTED",
+    "FAULT_UNDETECTED_CORRUPTIONS",
+    "FAULT_DISK_DEATHS",
+    "FAULT_RECOVERY_BLOCKS",
+    "FAULT_DEGRADED_SPLIT_IOS",
+    "FAULT_BREAKER_TRIPS",
+    "FAULT_REDIRECTED_ALLOCS",
+    "FAULT_STALL_MS",
+    "H_FAULT_BACKOFF",
     "EV_OVERLAP_DISKS",
+    "EV_DISK_DEATH",
     "read_width_edges",
     "occupancy_edges",
     "run_length_edges",
     "writer_occupancy_edges",
     "batch_edges",
+    "backoff_edges",
     "validate_events",
 ]
 
@@ -77,6 +91,35 @@ SCHED_FLUSH_OPS = "sched.flush_ops"
 SCHED_BLOCKS_FLUSHED = "sched.blocks_flushed"
 MERGE_DRAIN_CYCLES = "merge.drain_cycles"
 
+# Fault-injection and resilience counters (``repro chaos``).  All are
+# zero on a fault-free run; the chaos harness asserts the relations
+# documented next to each name.
+
+#: Injected transient read failures (each costs one retry attempt).
+FAULT_TRANSIENT_FAILURES = "faults.transient_failures"
+#: Read retries performed (transient failures + detected corruptions).
+FAULT_RETRIES = "faults.retries"
+#: Blocks whose transfer was corrupted by the fault plan.
+FAULT_CORRUPT_INJECTED = "faults.corrupt_blocks_injected"
+#: Corrupted transfers caught by the CRC-32 block checksum.
+FAULT_CHECKSUM_DETECTED = "faults.checksum_failures_detected"
+#: Corrupted transfers that slipped past verification (unsealed blocks);
+#: the chaos harness asserts this stays 0.
+FAULT_UNDETECTED_CORRUPTIONS = "faults.undetected_corruptions"
+#: Permanent disk losses (planned deaths + circuit-breaker escalations).
+FAULT_DISK_DEATHS = "faults.disk_deaths"
+#: Blocks recovered off a dead disk onto the survivors.
+FAULT_RECOVERY_BLOCKS = "faults.recovery_blocks"
+#: Extra I/O rounds paid because a degraded stripe touched the same
+#: surviving disk more than once (the degraded-mode overhead).
+FAULT_DEGRADED_SPLIT_IOS = "faults.degraded_split_ios"
+#: Per-disk circuit-breaker trips (consecutive-failure escalations).
+FAULT_BREAKER_TRIPS = "faults.breaker_trips"
+#: Allocations redirected from a dead disk to a survivor.
+FAULT_REDIRECTED_ALLOCS = "faults.redirected_allocations"
+#: Simulated time spent inside fault-plan stall windows (overlap path).
+FAULT_STALL_MS = "faults.stall_ms"
+
 # -- histograms ------------------------------------------------------------
 
 #: Blocks moved per parallel read (Theorem 1's parallelism; <= D).
@@ -94,11 +137,16 @@ H_RUN_LENGTH = "run_formation.run_length"
 H_WRITER_OCCUPANCY = "writer.buffered_blocks"
 #: In-flight prefetched blocks at each ParRead (overlap engine).
 H_OVERLAP_QUEUE_DEPTH = "overlap.queue_depth"
+#: Backoff delay charged per retry, in ms (capped exponential).
+H_FAULT_BACKOFF = "faults.backoff_ms"
 
 # -- point events ----------------------------------------------------------
 
 #: Per-disk busy/idle breakdown of one engine-driven merge.
 EV_OVERLAP_DISKS = "overlap_disks"
+#: A disk died (planned death or breaker escalation); attrs carry the
+#: disk id, trigger, and blocks recovered onto the survivors.
+EV_DISK_DEATH = "disk_death"
 
 
 # -- bucket layouts --------------------------------------------------------
@@ -130,6 +178,25 @@ def writer_occupancy_edges(n_disks: int) -> tuple[float, ...]:
     write sits in ``[2D, 4D]``; one bucket per block count.
     """
     return tuple(float(v) for v in range(1, 4 * n_disks + 1))
+
+
+def backoff_edges(base_ms: float, cap_ms: float, factor: float = 2.0) -> tuple[float, ...]:
+    """Geometric buckets spanning one retry ladder, ``base .. cap``.
+
+    Derived only from the :class:`~repro.faults.retry.RetryPolicy`
+    parameters, so two runs under the same policy bucket identically.
+    The top edge sits above ``cap`` to absorb jitter on the capped step.
+    """
+    base = max(base_ms, 1e-3)
+    factor = max(factor, 1.001)
+    edges = []
+    v = base
+    while v < cap_ms and len(edges) < 32:
+        edges.append(v)
+        v *= factor
+    edges.append(cap_ms)
+    edges.append(cap_ms * factor)
+    return tuple(sorted(set(edges)))
 
 
 def batch_edges(block_size: int) -> tuple[float, ...]:

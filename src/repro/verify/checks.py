@@ -43,16 +43,21 @@ def check_striped_run(system: ParallelDiskSystem, run: StripedRun) -> None:
     * the initial block implants ``k_{r,0..D-1}``, every later block
       implants ``k_{r,i+D}`` (``NO_KEY`` past the end);
     * the recorded first/last key metadata matches the block contents.
+
+    On a degraded system (a disk died mid-sort), the cyclic-placement
+    rule is waived for stripe positions whose disk is dead — those
+    blocks were legally relocated onto survivors — while every other
+    invariant still holds.
     """
     D = system.n_disks
     blocks = []
     for i, addr in enumerate(run.addresses):
         expect_disk = (run.start_disk + i) % D
-        if addr.disk != expect_disk:
+        if addr.disk != expect_disk and expect_disk not in system.dead_disks:
             raise DataError(
                 f"block {i} on disk {addr.disk}, cyclic rule requires {expect_disk}"
             )
-        blocks.append(system.disks[addr.disk].read(addr.slot))
+        blocks.append(system.peek(addr))
 
     prev_last = None
     for i, blk in enumerate(blocks):
@@ -96,17 +101,25 @@ def check_superblock_run(system: ParallelDiskSystem, run) -> None:
     Checks that every stripe is slot-synchronized across disks starting
     at disk 0 (the "logical single disk" layout), that keys are sorted
     within and across superblocks, and that the record count matches.
+    On a degraded system, stripe positions whose expected disk is dead
+    are exempt from the placement rule (their blocks were relocated).
     """
     total = 0
     prev_last = None
     for s, stripe in enumerate(run.stripes):
         disks = [a.disk for a in stripe]
-        if disks != list(range(len(stripe))):
+        expect = list(range(len(stripe)))
+        mismatch = [
+            (got, want)
+            for got, want in zip(disks, expect)
+            if got != want and want not in system.dead_disks
+        ]
+        if mismatch:
             raise DataError(
                 f"superblock {s} spans disks {disks}, expected 0..{len(stripe)-1}"
             )
         for addr in stripe:
-            blk = system.disks[addr.disk].read(addr.slot)
+            blk = system.peek(addr)
             if not is_sorted(blk.keys):
                 raise DataError(f"superblock {s} holds an unsorted block")
             if prev_last is not None and blk.first_key < prev_last:

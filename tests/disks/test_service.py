@@ -29,6 +29,20 @@ class TestDiskService:
         assert d.submit(20.0, 5.0) == 25.0
         assert d.busy_ms == 10.0
 
+    def test_first_request_does_not_count_startup_as_idle(self):
+        # Regression: idle_ms used to charge the 0 -> start gap before
+        # any request had completed, inflating the idle-gap signal.
+        d = DiskService()
+        d.submit(30.0, 5.0)
+        assert d.idle_ms == 0.0
+
+    def test_idle_counts_only_inter_request_gaps(self):
+        d = DiskService()
+        d.submit(10.0, 5.0)  # completes at 15
+        d.submit(21.0, 5.0)  # 6 ms gap
+        d.submit(26.0, 5.0)  # back-to-back: no gap
+        assert d.idle_ms == pytest.approx(6.0)
+
 
 class TestServiceNetwork:
     def _net(self, D=3, B=4):

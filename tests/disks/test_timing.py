@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.disks.timing import DISK_1996, DISK_MODERN, DiskTimingModel
+from repro.errors import ConfigError
 
 
 class TestTimingModel:
@@ -32,3 +33,25 @@ class TestTimingModel:
 
     def test_modern_disk_is_faster(self):
         assert DISK_MODERN.op_time_ms(1000) < DISK_1996.op_time_ms(1000)
+
+
+class TestTimingModelValidation:
+    def test_rpm_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DiskTimingModel(rpm=0)
+        with pytest.raises(ConfigError):
+            DiskTimingModel(rpm=-6000)
+
+    def test_transfer_rate_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DiskTimingModel(transfer_mb_per_s=0)
+
+    def test_record_bytes_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DiskTimingModel(record_bytes=0)
+
+    def test_seek_must_be_nonnegative(self):
+        with pytest.raises(ConfigError):
+            DiskTimingModel(avg_seek_ms=-1.0)
+        # Zero seek is a legal idealised disk.
+        DiskTimingModel(avg_seek_ms=0.0)

@@ -1,0 +1,157 @@
+"""Property-style chaos tests: any seeded fault plan, same sorted bytes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DSMConfig, SRMConfig, dsm_sort, srm_sort
+from repro.faults import DiskDeath, FaultPlan, StallWindow, run_chaos
+from repro.verify import check_striped_run
+
+D, B, K = 4, 8, 2
+N = 3_000
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return np.random.default_rng(SEED).integers(
+        0, 2**40, size=N, dtype=np.int64
+    )
+
+
+@pytest.fixture(scope="module")
+def srm_cfg():
+    return SRMConfig.from_k(K, D, B)
+
+
+@pytest.fixture(scope="module")
+def reference(keys, srm_cfg):
+    out, res = srm_sort(keys, srm_cfg, rng=SEED)
+    return out, res.total_parallel_ios
+
+
+def _plans():
+    """The seeded grid: one plan per fault class, plus combinations."""
+    mid = 120  # mid-merge in per-disk block ops at this scale
+    return [
+        ("transient", FaultPlan(seed=1, read_fail_p=0.1)),
+        ("corrupt", FaultPlan(seed=2, corrupt_p=0.08)),
+        ("straggler", FaultPlan(seed=3, latency_factors={1: 5.0})),
+        (
+            "stall",
+            FaultPlan(seed=4, stalls=(StallWindow(0, 1.0, 25.0),)),
+        ),
+        ("death_early", FaultPlan(seed=5, death=DiskDeath(3, 0))),
+        ("death_mid", FaultPlan(seed=6, death=DiskDeath(2, mid))),
+        (
+            "everything",
+            FaultPlan(
+                seed=7,
+                read_fail_p=0.05,
+                corrupt_p=0.03,
+                latency_factors={1: 2.0},
+                death=DiskDeath(3, mid),
+            ),
+        ),
+    ]
+
+
+class TestSRMBitIdentity:
+    @pytest.mark.parametrize(("name", "plan"), _plans())
+    def test_output_identical_under_plan(self, name, plan, keys, srm_cfg, reference):
+        out, res = srm_sort(keys, srm_cfg, rng=SEED, faults=plan)
+        assert np.array_equal(out, reference[0]), name
+        assert res.system.faults.stats.undetected_corruptions == 0
+
+    def test_same_plan_same_io_accounting(self, keys, srm_cfg):
+        plan = FaultPlan(seed=9, read_fail_p=0.1, death=DiskDeath(1, 60))
+        _, a = srm_sort(keys, srm_cfg, rng=SEED, faults=plan)
+        _, b = srm_sort(keys, srm_cfg, rng=SEED, faults=plan)
+        assert a.total_parallel_ios == b.total_parallel_ios
+        assert a.system.faults.stats.snapshot() == b.system.faults.stats.snapshot()
+
+    def test_noop_plan_matches_fault_free_io(self, keys, srm_cfg, reference):
+        out, res = srm_sort(keys, srm_cfg, rng=SEED, faults=FaultPlan(seed=8))
+        assert np.array_equal(out, reference[0])
+        assert res.total_parallel_ios == reference[1]
+
+    def test_degraded_output_run_still_checks(self, keys, srm_cfg):
+        plan = FaultPlan(seed=5, death=DiskDeath(3, 0))
+        _, res = srm_sort(keys, srm_cfg, rng=SEED, faults=plan)
+        # The run format invariants hold modulo the waived placement
+        # rule for dead-disk stripe positions.
+        check_striped_run(res.system, res.output)
+
+    def test_payloads_survive_disk_death(self, keys, srm_cfg):
+        payloads = np.arange(N, dtype=np.int64)
+        plan = FaultPlan(seed=10, death=DiskDeath(1, 80))
+        _, res = srm_sort(
+            keys, srm_cfg, rng=SEED, payloads=payloads, faults=plan
+        )
+        out_k, out_p = res.peek_sorted_records()
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(out_k, keys[order])
+        assert np.array_equal(out_p, payloads[order])
+
+
+class TestDSMBitIdentity:
+    @pytest.fixture(scope="class")
+    def dsm_cfg(self):
+        return DSMConfig(n_disks=D, block_size=B, merge_order=3)
+
+    @pytest.fixture(scope="class")
+    def dsm_reference(self, keys, dsm_cfg):
+        out, _ = dsm_sort(keys, dsm_cfg)
+        return out
+
+    @pytest.mark.parametrize(
+        ("name", "plan"),
+        [(n, p) for n, p in _plans() if n not in ("straggler", "stall")],
+    )
+    def test_output_identical_under_plan(
+        self, name, plan, keys, dsm_cfg, dsm_reference
+    ):
+        out, res = dsm_sort(keys, dsm_cfg, faults=plan)
+        assert np.array_equal(out, dsm_reference), name
+        assert res.system.faults.stats.undetected_corruptions == 0
+
+
+class TestChaosHarness:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos(
+            n_records=3_000, n_disks=4, k=2, block_size=8, seed=77, quick=True
+        )
+
+    def test_quick_sweep_passes(self, report):
+        assert report.failures() == []
+        assert report.passed
+
+    def test_scenarios_cover_both_algorithms(self, report):
+        pairs = {(r.scenario, r.algorithm) for r in report.results}
+        assert ("transient", "srm") in pairs
+        assert ("death", "dsm") in pairs
+
+    def test_jsonl_roundtrip(self, report, tmp_path):
+        import json
+
+        path = tmp_path / "chaos.jsonl"
+        report.write_jsonl(str(path))
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["type"] == "meta" and rows[0]["passed"]
+        assert len(rows) == 1 + len(report.results)
+        assert all(r["ok"] for r in rows[1:])
+
+    def test_render_mentions_verdict(self, report):
+        assert "PASS" in report.render()
+
+    def test_cli_chaos_check_exits_zero(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["chaos", "--quick", "--check", "--n", "2000", "--block", "8"]
+        )
+        assert rc == 0
+        assert "chaos check passed" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Tests for the retry policy and circuit breaker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import CircuitBreaker, RetryPolicy
+from repro.telemetry.schema import backoff_edges
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_ms=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_ms=10.0, cap_ms=5.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_grows_geometrically_without_jitter(self):
+        pol = RetryPolicy(base_ms=1.0, factor=2.0, cap_ms=100.0, jitter=0.0)
+        delays = [pol.backoff_ms(i, None) for i in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_backoff_is_capped(self):
+        pol = RetryPolicy(base_ms=1.0, factor=2.0, cap_ms=5.0, jitter=0.0)
+        assert pol.backoff_ms(10, None) == 5.0
+
+    def test_jitter_bounds_and_determinism(self):
+        pol = RetryPolicy(base_ms=2.0, factor=2.0, cap_ms=50.0, jitter=0.25)
+        a = [pol.backoff_ms(1, np.random.default_rng(9)) for _ in range(1)]
+        b = [pol.backoff_ms(1, np.random.default_rng(9)) for _ in range(1)]
+        assert a == b  # same generator state -> same jitter
+        for _ in range(50):
+            d = pol.backoff_ms(1, np.random.default_rng())
+            assert 4.0 <= d < 4.0 * 1.25
+
+    def test_zero_jitter_consumes_no_randomness(self):
+        pol = RetryPolicy(jitter=0.0)
+        gen = np.random.default_rng(3)
+        before = gen.bit_generator.state
+        pol.backoff_ms(0, gen)
+        assert gen.bit_generator.state == before
+
+
+class TestBackoffEdges:
+    def test_edges_cover_base_to_past_cap(self):
+        edges = backoff_edges(1.0, 50.0, 2.0)
+        assert edges[0] == 1.0
+        # The overflow absorber sits past the cap so a capped+jittered
+        # delay still lands in a bucket.
+        assert edges[-1] > 50.0
+        assert list(edges) == sorted(set(edges))
+
+
+class TestCircuitBreaker:
+    def test_trips_at_exactly_threshold(self):
+        br = CircuitBreaker(threshold=3)
+        assert not br.record_failure(0)
+        assert not br.record_failure(0)
+        assert br.record_failure(0)  # third consecutive -> trip
+        assert br.trips == 1
+
+    def test_success_resets_the_streak(self):
+        br = CircuitBreaker(threshold=3)
+        br.record_failure(0)
+        br.record_failure(0)
+        br.record_success(0)
+        assert br.failures(0) == 0
+        assert not br.record_failure(0)
+
+    def test_disks_are_independent(self):
+        br = CircuitBreaker(threshold=2)
+        br.record_failure(0)
+        assert not br.record_failure(1)
+        assert br.record_failure(0)
+        assert br.failures(1) == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(threshold=0)
