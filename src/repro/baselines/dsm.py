@@ -460,6 +460,14 @@ def dsm_mergesort(
         runs = out_runs
 
     result.output = runs[0]
+    if system.faults is not None and system.faults.plan.torn_write_p > 0.0:
+        # Same closing move as SRM: scrub the output run's seals so a
+        # tear in the final pass is repaired before anyone reads it.
+        from ..faults.degraded import scrub_addresses
+
+        scrub_addresses(
+            system, [a for stripe in runs[0].stripes for a in stripe]
+        )
     result.system = system
     result.io = system.stats.since(start_stats)
     sort_span.set(

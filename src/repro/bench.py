@@ -288,6 +288,18 @@ def bench_faults(n_records: int, k: int = 4, n_disks: int = 4,
     if not np.array_equal(out_off, out_on):
         raise DataError("fault path equivalence violated: outputs differ")
     stats = res_on.system.faults.stats.snapshot()
+    # Same measurement for the write-path faults plus rotating parity:
+    # what full redundancy (parity groups + torn-write repair) costs in
+    # wall time and charged I/O, with the same bit-identity assertion.
+    wplan = FaultPlan(
+        seed=seed, write_fail_p=0.02, torn_write_p=0.01, redundancy="parity"
+    )
+    wall_par, (out_par, res_par) = _time(
+        lambda: srm_sort(keys, cfg, rng=seed + 1, faults=wplan)
+    )
+    if not np.array_equal(out_off, out_par):
+        raise DataError("parity path equivalence violated: outputs differ")
+    pstats = res_par.system.faults.stats.snapshot()
     return {
         "wall_s_fault_free": round(wall_off, 6),
         "wall_s_armed": round(wall_on, 6),
@@ -297,10 +309,26 @@ def bench_faults(n_records: int, k: int = 4, n_disks: int = 4,
         "parallel_ios_fault_free": res_off.total_parallel_ios,
         "parallel_ios_armed": res_on.total_parallel_ios,
         "output_identical": True,  # asserted above
+        "parity": {
+            "wall_s": round(wall_par, 6),
+            "overhead_frac": round(wall_par / wall_off - 1.0, 4),
+            "parallel_ios": res_par.total_parallel_ios,
+            "io_overhead_frac": round(
+                res_par.total_parallel_ios / res_off.total_parallel_ios - 1.0,
+                4,
+            ),
+            "write_failures": pstats["write_failures"],
+            "torn_writes_detected": pstats["torn_writes_detected"],
+            "recovery_read_ios": pstats["recovery_read_ios"],
+            "parity_blocks_written": pstats["parity_blocks_written"],
+            "output_identical": True,  # asserted above
+        },
         "params": {
             "n_records": n_records, "k": k, "n_disks": n_disks,
             "block_size": block_size, "seed": seed,
             "read_fail_p": plan.read_fail_p,
+            "write_fail_p": wplan.write_fail_p,
+            "torn_write_p": wplan.torn_write_p,
         },
     }
 
@@ -355,6 +383,10 @@ def main(argv: list[str] | None = None) -> int:
     fl = report["faults"]
     print(f"faults        armed overhead {fl['armed_overhead_frac']*100:+.1f}%"
           f"  ({fl['retries']} retries, output identical)")
+    pr = fl["parity"]
+    print(f"parity        wall overhead {pr['overhead_frac']*100:+.1f}%"
+          f"  io {pr['io_overhead_frac']*100:+.1f}%"
+          f"  ({pr['torn_writes_detected']} tears repaired)")
     print(f"report -> {args.out}")
 
     ok = True

@@ -402,7 +402,9 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--seed", type=int, default=1234,
                     help="root seed for data, layout, and fault streams")
     ch.add_argument("--quick", action="store_true",
-                    help="only the transient/corrupt/death scenarios (CI smoke)")
+                    help="core scenarios only: transient/corrupt/death plus "
+                         "write storm, torn writes, parity rebuild, and "
+                         "double death (CI smoke)")
     ch.add_argument("--check", action="store_true",
                     help="exit 1 unless every resilience property holds")
     ch.add_argument("--out", metavar="PATH", default=None,

@@ -255,7 +255,7 @@ class OverlapEngine:
 
     def finish(self) -> OverlapReport:
         """Drain outstanding I/O and report the simulated timings."""
-        makespan = max(self.now, self._write_done, self.net.latest_completion_ms)
+        makespan = max(self.now, self._write_done, self.net.drained_completion_ms())
         self._tel.event(
             EV_OVERLAP_DISKS,
             makespan_ms=makespan,

@@ -263,6 +263,14 @@ def srm_mergesort(
         runs = out_runs
 
     result.output = runs[0]
+    if system.faults is not None and system.faults.plan.torn_write_p > 0.0:
+        # Final-pass blocks are never re-read through the fault-aware
+        # path, so a tear in the output run would otherwise reach the
+        # caller undetected.  One charged scrub pass re-verifies every
+        # output seal and repairs stale ones from parity.
+        from ..faults.degraded import scrub_addresses
+
+        scrub_addresses(system, runs[0].addresses)
     result.io = system.stats.since(start_stats)
     result.system = system
     sort_span.set(

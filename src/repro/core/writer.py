@@ -152,7 +152,14 @@ class RunWriter:
     # -- emit ----------------------------------------------------------------
 
     def _emit(self, writes: list) -> None:
-        """Perform one parallel write and fire the ``on_write`` hook."""
+        """Perform one parallel write and fire the ``on_write`` hook.
+
+        On a fault-armed system ``write_stripe`` runs each block through
+        the write retry ladder (transient write failures, torn writes,
+        breaker escalation) and may append separately-charged parity
+        rounds; the writer itself never needs to know — the addresses it
+        allocated stay valid through any relocation.
+        """
         disks = self.system.write_stripe(writes)
         if self.on_write is not None:
             # write_stripe reports the *physical* disks written (they

@@ -123,6 +123,24 @@ class Block:
         return self.checksum is None or self.compute_checksum() == self.checksum
 
 
+def xor_accumulate(acc: np.ndarray | None, arr: np.ndarray) -> np.ndarray:
+    """XOR *arr* into the running parity accumulator *acc*.
+
+    Arrays of different lengths (partial run-tail blocks) are combined
+    as if zero-padded to the longer one, which is how a RAID-5 arm
+    folds a short member into a full-width parity stripe.  Returns a
+    fresh array; neither input is mutated.
+    """
+    arr = np.asarray(arr, dtype=np.int64)
+    if acc is None:
+        return arr.copy()
+    n = max(acc.size, arr.size)
+    out = np.zeros(n, dtype=np.int64)
+    out[: acc.size] = acc
+    np.bitwise_xor(out[: arr.size], arr, out=out[: arr.size])
+    return out
+
+
 def split_into_blocks(
     keys: np.ndarray,
     block_size: int,

@@ -131,6 +131,10 @@ class ServiceNetwork:
             if inj is not None:
                 service = service * inj.latency_factor(d)
                 service += inj.take_penalty_ms(d)
+                # Charged recovery block-ops (parity reconstruction
+                # reads, rebuild and repair writes) queue as extra
+                # whole-block service on the spindle that did the work.
+                service += base * inj.take_recovery_ops(d)
                 candidate = max(issue_ms, self.disks[d].free_at)
                 not_before = inj.stall_release(d, candidate)
             completes.append(self.disks[d].submit(issue_ms, service, not_before))
@@ -152,6 +156,24 @@ class ServiceNetwork:
     def latest_completion_ms(self) -> float:
         """Time the last-finishing disk goes idle."""
         return max((d.free_at for d in self.disks), default=0.0)
+
+    def drained_completion_ms(self) -> float:
+        """Completion time after flushing residual fault penalties.
+
+        Recovery ops (and backoff penalties) accumulated *after* a
+        disk's last data request would otherwise evaporate; appending
+        them to the affected queues keeps an end-of-run rebuild or
+        output scrub visible in the makespan.
+        """
+        inj = self.faults
+        if inj is not None:
+            base = self.timing.op_time_ms(self.block_size)
+            for d, srv in enumerate(self.disks):
+                residual = base * inj.take_recovery_ops(d)
+                residual += inj.take_penalty_ms(d)
+                if residual > 0.0:
+                    srv.submit(srv.free_at, residual)
+        return self.latest_completion_ms
 
     def per_disk_summary(self) -> list[dict]:
         """Per-disk ``{busy_ms, idle_ms, ops}`` for telemetry events.

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, NamedTuple, Optional, Sequence
 
-from ..errors import ConfigError, DiskDeadError, InvalidIOError
+from ..errors import ConfigError, DataError, DiskDeadError, InvalidIOError
 from .block import Block
 from .counters import IOStats
 from .disk import Disk
@@ -94,6 +94,8 @@ class ParallelDiskSystem:
         self._redirect_rr = 0
         #: One :class:`~repro.faults.degraded.DeathReport` per disk loss.
         self.death_reports: list = []
+        #: Rotating-parity bookkeeping (``redundancy="parity"`` plans).
+        self._parity = None
 
     # -- fault injection --------------------------------------------------
 
@@ -130,6 +132,10 @@ class ParallelDiskSystem:
         self.faults = inj
         self.retry_policy = inj.retry if retry is None else retry
         self.breaker = CircuitBreaker()
+        if inj.plan.redundancy == "parity":
+            from ..faults.parity import ParityStore
+
+            self._parity = ParityStore(self)
 
     @property
     def degraded(self) -> bool:
@@ -162,6 +168,12 @@ class ParallelDiskSystem:
                 tgt = new
             block.seal()
         self.disks[tgt.disk].write(tgt.slot, block)
+        if self._parity is not None:
+            # Pre-existing data arrives with pre-existing parity: track
+            # the block and persist any completed group's parity block
+            # without charging I/O, like the data itself.
+            self._parity.add_block(addr, tgt.disk, block)
+            self._flush_parity_writes(charged=False)
 
     def _next_survivor(self) -> int:
         survivors = [
@@ -177,6 +189,10 @@ class ParallelDiskSystem:
         """Declare *disk* dead and recover its blocks onto the survivors."""
         from ..faults.degraded import migrate_dead_disk
 
+        if disk in self.dead_disks:
+            # A death cascading out of another death's recovery writes
+            # can re-nominate a disk the outer frame is already burying.
+            return
         self.dead_disks.add(disk)
         report = migrate_dead_disk(self, disk, trigger)
         self.faults.mark_dead(disk, trigger, report.recovered_blocks)
@@ -203,7 +219,15 @@ class ParallelDiskSystem:
         return BlockAddress(disk, self.disks[disk].allocate())
 
     def free(self, addr: BlockAddress) -> None:
-        """Release the slot at *addr* (discarding any live block)."""
+        """Release the slot at *addr* (discarding any live block).
+
+        Under ``redundancy="parity"`` the physical release of a
+        parity-group member is deferred until its whole group is freed,
+        keeping reconstruction sources on disk (see
+        :meth:`~repro.faults.parity.ParityStore.note_free`).
+        """
+        if self._parity is not None and self._parity.note_free(addr):
+            return
         addr = self.resolve(addr)
         if addr.disk in self.dead_disks:
             # The slot vanished with its spindle (allocated, never
@@ -373,6 +397,12 @@ class ParallelDiskSystem:
                     self._charge_backoff(d, pol.backoff_ms(attempt, inj.rng(d)))
                     continue
                 blk = self.disks[d].read(addr.slot)
+                if not blk.verify():
+                    # The *stored* bytes fail their seal: a torn write
+                    # persisted a block whose checksum went stale.  Not
+                    # a transfer fault, so it doesn't feed the breaker;
+                    # the fix is reconstruction, not a re-read.
+                    blk = self._repair_torn(orig, d)
                 if corrupt_pending:
                     corrupt_pending = False
                     inj.count_corrupt()
@@ -406,28 +436,118 @@ class ParallelDiskSystem:
                 # the spindle as failed and recover from the survivors.
                 self._kill_disk(d, "retry_exhausted")
 
+    def _repair_torn(self, orig: BlockAddress, disk: int) -> Block:
+        """A stored block failed its seal: rebuild it from parity."""
+        inj = self.faults
+        inj.count_torn_detected()
+        if self._parity is None:
+            raise DataError(
+                f"torn write detected at {tuple(orig)} on disk {disk} "
+                "but the plan has redundancy='none' — nothing to rebuild "
+                "from"
+            )
+        return self._parity.repair_in_place(orig)
+
     def _write_stripe_faulty(
         self, writes: Sequence[tuple[BlockAddress, Block]]
     ) -> list[int]:
-        inj = self.faults
         disks: list[int] = []
         for addr, block in writes:
-            tgt = self.resolve(addr)
-            if inj.death_due(tgt.disk):
-                self._kill_disk(tgt.disk, "planned")
-                tgt = self.resolve(addr)
-            if tgt.disk in self.dead_disks:
+            disks.append(self._write_one_with_retry(addr, block))
+        self._account_rounds("write", disks)
+        # Any parity group completed by this stripe flushes now, as
+        # separately-charged rounds: the data stripe's accounting (and
+        # its positional disk list, which callers rely on) stays intact.
+        self._flush_parity_writes()
+        return disks
+
+    def _write_one_with_retry(self, orig: BlockAddress, block: Block) -> int:
+        """Write one block under the fault plan; returns the disk used.
+
+        Mirrors :meth:`_read_one_with_retry`: the plan decides this
+        write's fate, transient failures back off and feed the breaker,
+        and exhaustion escalates to disk death — after which the loop
+        re-resolves onto a survivor and the write goes through there.
+        A torn write persists a corrupted copy under the pristine seal;
+        the staleness is caught by :meth:`Block.verify` on next read.
+        """
+        inj = self.faults
+        pol = self.retry_policy
+        while True:
+            addr = self.resolve(orig)
+            if addr.disk in self.dead_disks:
                 # Allocated before the death, written after: relocate
                 # the slot onto a survivor and remember the move.
-                new = self.allocate(tgt.disk)
-                self._remap[tgt] = new
-                tgt = new
-            block.seal()
-            self.disks[tgt.disk].write(tgt.slot, block)
-            inj.note_op(tgt.disk)
-            disks.append(tgt.disk)
-        self._account_rounds("write", disks)
-        return disks
+                new = self.allocate(addr.disk)
+                self._remap[addr] = new
+                continue
+            d = addr.disk
+            if inj.death_due(d):
+                self._kill_disk(d, "planned")
+                continue
+            outcome = inj.plan_write(d)
+            killed = False
+            for attempt in range(pol.max_attempts):
+                if attempt < outcome.n_failures:
+                    inj.count_write_failure()
+                    if self.breaker.record_failure(d):
+                        inj.count_breaker_trip()
+                        self._kill_disk(d, "breaker")
+                        killed = True
+                        break
+                    self._charge_backoff(d, pol.backoff_ms(attempt, inj.rng(d)))
+                    continue
+                block.seal()
+                torn = outcome.torn
+                if self._parity is not None:
+                    # The store may veto the tear: one parity arm can
+                    # absorb only one latent loss per group.
+                    torn = self._parity.add_block(orig, d, block, torn=torn)
+                if torn:
+                    inj.count_torn_injected()
+                    from ..faults.plan import corrupt_copy
+
+                    stored = corrupt_copy(block, inj.rng(d))
+                    self.disks[d].write(addr.slot, stored)
+                else:
+                    self.disks[d].write(addr.slot, block)
+                self.breaker.record_success(d)
+                inj.note_op(d)
+                return d
+            if not killed:
+                self._kill_disk(d, "retry_exhausted")
+
+    def _flush_parity_writes(self, charged: bool = True) -> None:
+        """Persist parity blocks for any groups that just closed."""
+        if self._parity is None:
+            return
+        for g, pblk in self._parity.drain_pending():
+            self._write_parity_block(g, pblk, charged=charged)
+
+    def _write_parity_block(self, g, pblk: Block, charged: bool = True) -> None:
+        """Write one group's parity block on its rotating spindle.
+
+        Parity rides the controller's reliable path (no injected
+        faults) but is *charged* like any write — redundancy is paid
+        for, one extra round per closed group — except when it backs
+        uncharged pre-existing data (``install_block``).
+        """
+        inj = self.faults
+        d = g.parity_disk
+        if d is None or d in self.dead_disks:
+            d = self._parity.repick_parity_disk(g)
+        addr = BlockAddress(d, self.disks[d].allocate())
+        self.disks[d].write(addr.slot, pblk)
+        if charged:
+            self.stats.record_write([d])
+            self._advance_clock(1)
+            if self.trace is not None:
+                self.trace.record("write", [d], self.elapsed_ms)
+            inj.note_op(d)
+            # Let the overlap engine feel the extra spindle time too.
+            inj.add_recovery_ops(d)
+        inj.count_parity_block()
+        self._parity.note_parity_written(g, addr)
 
     def read_batch(self, addresses: Iterable[BlockAddress]) -> tuple[list[Block], int]:
         """Read arbitrarily many blocks using greedy stripe packing.

@@ -13,7 +13,10 @@ stall windows, and permanent disk loss:
   deterministic jitter, plus a per-disk circuit breaker;
 * :mod:`~repro.faults.degraded` — permanent-failure handling: the dead
   disk's blocks migrate onto the survivors and the sort continues on
-  ``D - 1`` spindles;
+  ``D - 1`` spindles; plus checksum scrubbing for torn writes;
+* :mod:`~repro.faults.parity` — rotating RAID-5-style parity groups
+  behind ``FaultPlan(redundancy="parity")``: dead disks and torn
+  writes rebuild by XOR over the survivors in charged I/O rounds;
 * :mod:`~repro.faults.chaos` — the scenario sweep behind
   ``repro chaos``: every plan must yield bit-identical output, zero
   undetected corruptions, and truthful ``faults.*`` telemetry.
@@ -25,7 +28,14 @@ Arm a system with :meth:`ParallelDiskSystem.attach_faults
 """
 
 from .chaos import ChaosReport, ChaosScenario, ScenarioResult, default_scenarios, run_chaos
-from .degraded import DeathReport, migrate_dead_disk
+from .degraded import (
+    DeathReport,
+    ScrubReport,
+    migrate_dead_disk,
+    scrub_addresses,
+    scrub_and_repair,
+)
+from .parity import ParityGroup, ParityMember, ParityStore
 from .plan import (
     DiskDeath,
     FaultInjector,
@@ -33,6 +43,7 @@ from .plan import (
     FaultStats,
     ReadOutcome,
     StallWindow,
+    WriteOutcome,
     corrupt_copy,
 )
 from .retry import DEFAULT_RETRY, CircuitBreaker, RetryPolicy
@@ -44,13 +55,20 @@ __all__ = [
     "default_scenarios",
     "run_chaos",
     "DeathReport",
+    "ScrubReport",
     "migrate_dead_disk",
+    "scrub_addresses",
+    "scrub_and_repair",
+    "ParityGroup",
+    "ParityMember",
+    "ParityStore",
     "DiskDeath",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
     "ReadOutcome",
     "StallWindow",
+    "WriteOutcome",
     "corrupt_copy",
     "DEFAULT_RETRY",
     "CircuitBreaker",

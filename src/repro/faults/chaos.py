@@ -36,8 +36,12 @@ from ..core.config import (
 from ..core.mergesort import srm_sort
 from ..telemetry import Telemetry
 from ..telemetry.schema import (
+    FAULT_RECOVERY_READ_IOS,
     FAULT_RETRIES,
+    FAULT_TORN_DETECTED,
+    FAULT_TORN_INJECTED,
     FAULT_TRANSIENT_FAILURES,
+    FAULT_WRITE_FAILURES,
     H_FAULT_BACKOFF,
 )
 from .plan import DiskDeath, FaultPlan, StallWindow
@@ -67,7 +71,11 @@ class ChaosScenario:
         Property tags checked by :meth:`ChaosReport.failures`:
         ``"retries"`` (retry count must be > 0), ``"corruption"``
         (checksum detections must equal injections, > 0), ``"death"``
-        (at least one disk death with recovered blocks).
+        (at least one disk death with recovered blocks),
+        ``"write_faults"`` (transient write failures must have fired),
+        ``"torn"`` (torn writes injected and every one detected),
+        ``"recovery_reads"`` (charged parity reconstruction reads > 0),
+        ``"double_death"`` (at least two disks died).
     """
 
     name: str
@@ -170,6 +178,28 @@ class ChaosReport:
                     msgs.append(f"{tag}: plan kills a disk but none died")
                 elif s.get("recovery_blocks", 0) <= 0:
                     msgs.append(f"{tag}: disk died but no blocks were recovered")
+            if "write_faults" in expect and s.get("write_failures", 0) <= 0:
+                msgs.append(
+                    f"{tag}: plan injects write failures but none fired"
+                )
+            if "torn" in expect:
+                inj = s.get("torn_writes_injected", 0)
+                det = s.get("torn_writes_detected", 0)
+                if inj <= 0 or det != inj:
+                    msgs.append(
+                        f"{tag}: torn-write detection mismatch "
+                        f"(injected={inj}, detected={det})"
+                    )
+            if "recovery_reads" in expect and s.get("recovery_read_ios", 0) <= 0:
+                msgs.append(
+                    f"{tag}: parity recovery ran but charged no "
+                    "reconstruction reads"
+                )
+            if "double_death" in expect and s.get("disk_deaths", 0) < 2:
+                msgs.append(
+                    f"{tag}: plan kills two disks but "
+                    f"{s.get('disk_deaths', 0)} died"
+                )
         return msgs
 
     def rows(self) -> list[dict]:
@@ -227,15 +257,19 @@ def default_scenarios(
     death_after: int,
     quick: bool = False,
 ) -> list[ChaosScenario]:
-    """The standard sweep: transient, corrupt, straggler, stall, death,
-    breaker escalation, and a combined plan.
+    """The standard sweep: transient, corrupt, write storm, torn writes,
+    death (replica and parity rebuild), double death, stragglers, stalls,
+    breaker escalation, death during rebuild, and a combined plan.
 
     *death_after* positions permanent failures mid-sort (callers derive
     it from the fault-free run's per-disk operation count).  *quick*
-    keeps only the three scenarios that exercise distinct code paths
-    (transient retry, checksum detection, degraded mode).
+    keeps the scenarios that exercise distinct code paths — transient
+    retry, checksum detection, degraded mode, the write-fault ladder,
+    torn-write repair, parity rebuild, and a two-death plan — and drops
+    the latency/escalation variants.
     """
     victim = n_disks - 1
+    second = 0 if victim != 0 else 1
     scenarios = [
         ChaosScenario(
             name="transient",
@@ -258,9 +292,77 @@ def default_scenarios(
             ),
             expect=frozenset({"death"}),
         ),
+        ChaosScenario(
+            name="write_storm",
+            description="12% transient write failures, retried with backoff",
+            plan=FaultPlan(seed=seed + 7, write_fail_p=0.12),
+            expect=frozenset({"retries", "write_faults"}),
+        ),
+        ChaosScenario(
+            name="torn",
+            description="5% torn writes; stale seals repaired from parity",
+            plan=FaultPlan(
+                seed=seed + 8, torn_write_p=0.05, redundancy="parity"
+            ),
+            expect=frozenset({"torn", "recovery_reads"}),
+        ),
+        ChaosScenario(
+            name="parity_death",
+            description=(
+                f"disk {victim} dies; lost blocks rebuilt by charged "
+                "XOR over the survivors"
+            ),
+            plan=FaultPlan(
+                seed=seed + 9,
+                redundancy="parity",
+                deaths=(DiskDeath(disk=victim, after_ops=death_after),),
+            ),
+            expect=frozenset({"death", "recovery_reads"}),
+        ),
     ]
+    if n_disks >= 3:
+        scenarios.append(
+            ChaosScenario(
+                name="double_death",
+                description=(
+                    f"disks {victim} and {second} die in sequence; "
+                    "two nested degraded migrations"
+                ),
+                plan=FaultPlan(
+                    seed=seed + 10,
+                    deaths=(
+                        DiskDeath(disk=victim, after_ops=death_after),
+                        DiskDeath(
+                            disk=second, after_ops=death_after + death_after // 2
+                        ),
+                    ),
+                ),
+                expect=frozenset({"death", "double_death"}),
+            )
+        )
     if quick:
         return scenarios
+    if n_disks >= 3:
+        scenarios.append(
+            ChaosScenario(
+                name="rebuild_death",
+                description=(
+                    f"disk {second} dies while absorbing disk {victim}'s "
+                    "rebuild traffic (death during recovery)"
+                ),
+                # The second threshold sits just past the first, so the
+                # recovery writes landing on the survivors are what
+                # push the second victim over the line.
+                plan=FaultPlan(
+                    seed=seed + 11,
+                    deaths=(
+                        DiskDeath(disk=victim, after_ops=death_after),
+                        DiskDeath(disk=second, after_ops=death_after + 8),
+                    ),
+                ),
+                expect=frozenset({"death", "double_death"}),
+            )
+        )
     scenarios += [
         ChaosScenario(
             name="straggler",
@@ -325,6 +427,17 @@ def _metrics_ok(tel: Telemetry, stats: dict) -> bool:
         snap = reg.get(FAULT_TRANSIENT_FAILURES).snapshot()
         if snap["value"] != stats["transient_failures"]:
             return False
+    for key, name in (
+        ("write_failures", FAULT_WRITE_FAILURES),
+        ("torn_writes_injected", FAULT_TORN_INJECTED),
+        ("torn_writes_detected", FAULT_TORN_DETECTED),
+        ("recovery_read_ios", FAULT_RECOVERY_READ_IOS),
+    ):
+        if stats.get(key, 0) > 0:
+            if name not in reg:
+                return False
+            if reg.get(name).snapshot()["value"] != stats[key]:
+                return False
     return True
 
 

@@ -1,14 +1,15 @@
 """Declarative, RNG-seeded fault plans and their injector.
 
 A :class:`FaultPlan` is a pure description of what should go wrong:
-transient read failures with probability ``p``, straggler latency
-multipliers on chosen spindles, stall windows, corrupted transfers, and
-a permanent disk death at operation ``k``.  The :class:`FaultInjector`
-turns a plan into deterministic per-disk event streams — each disk gets
-its own child generator from :func:`repro.rng.spawn`, and a stream is
-only consulted when the matching probability is non-zero — so a seeded
-plan replays bit-identically regardless of telemetry, overlap mode, or
-which scenarios ran before it.
+transient read *and write* failures with probability ``p``, torn writes
+that persist a corrupted block, straggler latency multipliers on chosen
+spindles, stall windows, corrupted transfers, and a sequence of
+permanent disk deaths.  The :class:`FaultInjector` turns a plan into
+deterministic per-disk event streams — each disk gets its own child
+generator from :func:`repro.rng.spawn`, and a stream is only consulted
+when the matching probability is non-zero — so a seeded plan replays
+bit-identically regardless of telemetry, overlap mode, or which
+scenarios ran before it.
 
 The injector is consulted from two places: the
 :class:`~repro.disks.system.ParallelDiskSystem` block layer (what fails,
@@ -34,12 +35,17 @@ from ..telemetry.schema import (
     FAULT_CORRUPT_INJECTED,
     FAULT_DEGRADED_SPLIT_IOS,
     FAULT_DISK_DEATHS,
+    FAULT_PARITY_BLOCKS,
     FAULT_RECOVERY_BLOCKS,
+    FAULT_RECOVERY_READ_IOS,
     FAULT_REDIRECTED_ALLOCS,
     FAULT_RETRIES,
     FAULT_STALL_MS,
+    FAULT_TORN_DETECTED,
+    FAULT_TORN_INJECTED,
     FAULT_TRANSIENT_FAILURES,
     FAULT_UNDETECTED_CORRUPTIONS,
+    FAULT_WRITE_FAILURES,
     H_FAULT_BACKOFF,
     backoff_edges,
 )
@@ -51,9 +57,13 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "ReadOutcome",
+    "WriteOutcome",
     "FaultInjector",
     "corrupt_copy",
 ]
+
+#: Redundancy modes a plan may request from the disk system.
+REDUNDANCY_MODES = ("none", "parity")
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,13 +141,33 @@ class FaultPlan:
         (``None`` = all disks).  A failure burst scoped to one spindle
         models a single flaky drive: its breaker trips while the
         survivors stay clean.
+    write_fail_p:
+        Per-write probability of a transient failure (the write does
+        not persist and must be retried, with the same ladder/breaker
+        escalation as reads).
+    torn_write_p:
+        Per-write probability that the write *appears* to succeed but
+        persists a block whose contents no longer match its CRC seal —
+        caught on the next read of that block, and repaired from parity
+        when ``redundancy="parity"`` (fatal otherwise).  When parity is
+        armed, at most one write per parity group is torn (a single
+        parity arm can absorb exactly one latent loss per stripe).
     latency_factors:
         ``{disk: multiplier}`` straggler map; service times on listed
         spindles are scaled (felt by the overlap engine's clock).
     stalls:
         Stall windows on the simulated service clock.
     death:
-        Optional permanent disk death.
+        Optional permanent disk death (legacy single-death field; the
+        injector merges it with *deaths*).
+    deaths:
+        A sequence of permanent disk deaths, each on its own victim;
+        deaths may fire during another disk's recovery.
+    redundancy:
+        ``"none"`` (default) keeps the replica-rebuild recovery model;
+        ``"parity"`` maintains a rotating RAID-5-style parity block per
+        write group and recovers dead disks / torn writes by XOR over
+        the survivors in *charged* read+write rounds.
     """
 
     seed: int = 0
@@ -148,9 +178,13 @@ class FaultPlan:
     latency_factors: Mapping[int, float] = field(default_factory=dict)
     stalls: tuple[StallWindow, ...] = ()
     death: Optional[DiskDeath] = None
+    write_fail_p: float = 0.0
+    torn_write_p: float = 0.0
+    deaths: tuple[DiskDeath, ...] = ()
+    redundancy: str = "none"
 
     def __post_init__(self) -> None:
-        for name in ("read_fail_p", "corrupt_p"):
+        for name in ("read_fail_p", "corrupt_p", "write_fail_p", "torn_write_p"):
             p = getattr(self, name)
             if not 0.0 <= p < 1.0:
                 raise ConfigError(f"{name} must be in [0, 1), got {p}")
@@ -169,6 +203,23 @@ class FaultPlan:
                 raise ConfigError(
                     f"latency factor for disk {disk} must be > 0, got {f}"
                 )
+        object.__setattr__(self, "deaths", tuple(self.deaths))
+        victims = [d.disk for d in self.all_deaths]
+        if len(victims) != len(set(victims)):
+            raise ConfigError(
+                f"each disk may die at most once, got victims {victims}"
+            )
+        if self.redundancy not in REDUNDANCY_MODES:
+            raise ConfigError(
+                f"redundancy must be one of {REDUNDANCY_MODES}, "
+                f"got {self.redundancy!r}"
+            )
+
+    @property
+    def all_deaths(self) -> tuple[DiskDeath, ...]:
+        """The full death schedule: the legacy ``death`` plus ``deaths``."""
+        legacy = (self.death,) if self.death is not None else ()
+        return legacy + self.deaths
 
     @property
     def is_noop(self) -> bool:
@@ -176,9 +227,12 @@ class FaultPlan:
         return (
             self.read_fail_p == 0.0
             and self.corrupt_p == 0.0
+            and self.write_fail_p == 0.0
+            and self.torn_write_p == 0.0
             and not self.latency_factors
             and not self.stalls
-            and self.death is None
+            and not self.all_deaths
+            and self.redundancy == "none"
         )
 
     def describe(self) -> str:
@@ -186,9 +240,16 @@ class FaultPlan:
         parts = [f"seed={self.seed}"]
         if self.read_fail_p:
             parts.append(f"read_fail_p={self.read_fail_p}")
+        if self.write_fail_p:
+            parts.append(f"write_fail_p={self.write_fail_p}")
+        if self.torn_write_p:
+            parts.append(f"torn_write_p={self.torn_write_p}")
         if self.corrupt_p:
             parts.append(f"corrupt_p={self.corrupt_p}")
-        if self.fail_disks is not None and (self.read_fail_p or self.corrupt_p):
+        if self.fail_disks is not None and (
+            self.read_fail_p or self.corrupt_p
+            or self.write_fail_p or self.torn_write_p
+        ):
             parts.append(f"fail_disks={list(self.fail_disks)}")
         if self.latency_factors:
             parts.append(
@@ -200,10 +261,12 @@ class FaultPlan:
             )
         if self.stalls:
             parts.append(f"stalls={len(self.stalls)}")
-        if self.death is not None:
+        for death in self.all_deaths:
             parts.append(
-                f"death(disk={self.death.disk}, after={self.death.after_ops} ops)"
+                f"death(disk={death.disk}, after={death.after_ops} ops)"
             )
+        if self.redundancy != "none":
+            parts.append(f"redundancy={self.redundancy}")
         return ", ".join(parts) if len(parts) > 1 else "no faults"
 
 
@@ -223,6 +286,11 @@ class FaultStats:
     breaker_trips: int = 0
     redirected_allocations: int = 0
     stall_ms: float = 0.0
+    write_failures: int = 0
+    torn_writes_injected: int = 0
+    torn_writes_detected: int = 0
+    recovery_read_ios: int = 0
+    parity_blocks_written: int = 0
 
     def snapshot(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -239,6 +307,20 @@ class ReadOutcome:
 
     n_failures: int = 0
     corrupt: bool = False
+
+
+@dataclass(slots=True)
+class WriteOutcome:
+    """What the plan decreed for one block write.
+
+    ``n_failures`` transient write failures precede the persisting
+    attempt; ``torn`` flags that the persisting attempt stores a block
+    whose contents no longer match its CRC seal (detected on the next
+    read, not now — that is what makes the tear dangerous).
+    """
+
+    n_failures: int = 0
+    torn: bool = False
 
 
 def corrupt_copy(block, rng: np.random.Generator):
@@ -259,6 +341,35 @@ def corrupt_copy(block, rng: np.random.Generator):
         payloads=None if block.payloads is None else block.payloads.copy(),
         checksum=block.checksum,
     )
+
+
+def _validate_targets(plan: FaultPlan, n_disks: int) -> None:
+    """Reject any plan feature aimed at a disk the system does not have.
+
+    Every targeting surface goes through this one helper —
+    ``fail_disks``, ``latency_factors``, ``stalls``, and the death
+    schedule — so a typo'd disk id raises :class:`ConfigError` instead
+    of being silently ignored.
+    """
+    targets = [("fail_disks", d) for d in plan.fail_disks or ()]
+    targets += [("latency factor", d) for d in plan.latency_factors]
+    targets += [("stall window", w.disk) for w in plan.stalls]
+    targets += [("death", d.disk) for d in plan.all_deaths]
+    for kind, disk in targets:
+        if disk >= n_disks:
+            raise ConfigError(
+                f"{kind} targets disk {disk}, system has D={n_disks}"
+            )
+    if plan.all_deaths:
+        if n_disks < 2:
+            raise ConfigError(
+                "a disk death needs at least one survivor (D >= 2)"
+            )
+        if len(plan.all_deaths) >= n_disks:
+            raise ConfigError(
+                f"{len(plan.all_deaths)} deaths on D={n_disks} disks would "
+                "leave no survivor"
+            )
 
 
 class FaultInjector:
@@ -289,30 +400,7 @@ class FaultInjector:
     ) -> None:
         if n_disks < 1:
             raise ConfigError(f"need at least one disk, got D={n_disks}")
-        for disk in plan.fail_disks or ():
-            if disk >= n_disks:
-                raise ConfigError(
-                    f"fail_disks targets disk {disk}, system has D={n_disks}"
-                )
-        for disk in plan.latency_factors:
-            if disk >= n_disks:
-                raise ConfigError(
-                    f"latency factor targets disk {disk}, system has D={n_disks}"
-                )
-        for w in plan.stalls:
-            if w.disk >= n_disks:
-                raise ConfigError(
-                    f"stall window targets disk {w.disk}, system has D={n_disks}"
-                )
-        if plan.death is not None:
-            if plan.death.disk >= n_disks:
-                raise ConfigError(
-                    f"death targets disk {plan.death.disk}, system has D={n_disks}"
-                )
-            if n_disks < 2:
-                raise ConfigError(
-                    "a disk death needs at least one survivor (D >= 2)"
-                )
+        _validate_targets(plan, n_disks)
         self.plan = plan
         self.n_disks = n_disks
         self.retry = retry if retry is not None else DEFAULT_RETRY
@@ -320,9 +408,14 @@ class FaultInjector:
         self._rngs = spawn(plan.seed, n_disks)
         self._ops = [0] * n_disks
         self._dead: set[int] = set()
+        self._death_after = {d.disk: d.after_ops for d in plan.all_deaths}
         #: Backoff penalties accumulated by the synchronous retry loop,
         #: drained into the queueing model by ``ServiceNetwork.submit``.
         self._penalty_ms = [0.0] * n_disks
+        #: Recovery block-ops (charged reconstruction I/O) accumulated by
+        #: degraded mode, drained as service-time penalties by
+        #: ``ServiceNetwork.submit`` so rebuilds show up in the makespan.
+        self._recovery_ops = [0] * n_disks
         self._stalls_by_disk: dict[int, list[StallWindow]] = {}
         for w in plan.stalls:
             self._stalls_by_disk.setdefault(w.disk, []).append(w)
@@ -340,6 +433,11 @@ class FaultInjector:
         self._c_breaker = tel.counter(FAULT_BREAKER_TRIPS)
         self._c_redirect = tel.counter(FAULT_REDIRECTED_ALLOCS)
         self._c_stall = tel.counter(FAULT_STALL_MS)
+        self._c_write_fail = tel.counter(FAULT_WRITE_FAILURES)
+        self._c_torn_inj = tel.counter(FAULT_TORN_INJECTED)
+        self._c_torn_det = tel.counter(FAULT_TORN_DETECTED)
+        self._c_recovery_reads = tel.counter(FAULT_RECOVERY_READ_IOS)
+        self._c_parity = tel.counter(FAULT_PARITY_BLOCKS)
         self._h_backoff = tel.histogram(
             H_FAULT_BACKOFF,
             backoff_edges(self.retry.base_ms, self.retry.cap_ms, self.retry.factor),
@@ -376,6 +474,29 @@ class FaultInjector:
             out.corrupt = float(self._rngs[disk].random()) < plan.corrupt_p
         return out
 
+    def plan_write(self, disk: int) -> WriteOutcome:
+        """Decide this write's fate on *disk* (consumes the disk's stream).
+
+        Shares the per-disk stream with :meth:`plan_read`, and is
+        feature-gated the same way: a plan with ``write_fail_p=0`` and
+        ``torn_write_p=0`` draws nothing, so read-only plans replay
+        identically whether or not the write path consults the injector.
+        """
+        out = WriteOutcome()
+        plan = self.plan
+        if plan.fail_disks is not None and disk not in plan.fail_disks:
+            return out
+        if plan.write_fail_p > 0.0:
+            gen = self._rngs[disk]
+            while (
+                out.n_failures < plan.max_consecutive_failures
+                and float(gen.random()) < plan.write_fail_p
+            ):
+                out.n_failures += 1
+        if plan.torn_write_p > 0.0:
+            out.torn = float(self._rngs[disk].random()) < plan.torn_write_p
+        return out
+
     def note_op(self, disk: int) -> None:
         """Count one completed block operation on *disk* (read or write)."""
         self._ops[disk] += 1
@@ -384,13 +505,12 @@ class FaultInjector:
         return self._ops[disk]
 
     def death_due(self, disk: int) -> bool:
-        """True if the planned death should fire before touching *disk*."""
-        d = self.plan.death
+        """True if a planned death should fire before touching *disk*."""
+        after = self._death_after.get(disk)
         return (
-            d is not None
-            and d.disk == disk
+            after is not None
             and disk not in self._dead
-            and self._ops[disk] >= d.after_ops
+            and self._ops[disk] >= after
         )
 
     def is_dead(self, disk: int) -> bool:
@@ -448,6 +568,26 @@ class FaultInjector:
         self.stats.redirected_allocations += 1
         self._c_redirect.inc()
 
+    def count_write_failure(self) -> None:
+        self.stats.write_failures += 1
+        self._c_write_fail.inc()
+
+    def count_torn_injected(self) -> None:
+        self.stats.torn_writes_injected += 1
+        self._c_torn_inj.inc()
+
+    def count_torn_detected(self) -> None:
+        self.stats.torn_writes_detected += 1
+        self._c_torn_det.inc()
+
+    def count_recovery_reads(self, rounds: int) -> None:
+        self.stats.recovery_read_ios += rounds
+        self._c_recovery_reads.inc(rounds)
+
+    def count_parity_block(self) -> None:
+        self.stats.parity_blocks_written += 1
+        self._c_parity.inc()
+
     # -- queueing-layer hooks (ServiceNetwork) ----------------------------
 
     def latency_factor(self, disk: int) -> float:
@@ -463,7 +603,10 @@ class FaultInjector:
         """
         windows = self._stalls_by_disk.get(disk)
         if not windows:
-            return 0.0
+            # A disk with no stall windows serves at the candidate time;
+            # returning 0.0 here only worked because ServiceNetwork fed
+            # the result into a max-like ``not_before``.
+            return candidate_ms
         t = candidate_ms
         moved = True
         while moved:
@@ -483,3 +626,14 @@ class FaultInjector:
         if p:
             self._penalty_ms[disk] = 0.0
         return p
+
+    def add_recovery_ops(self, disk: int, n: int = 1) -> None:
+        """Queue *n* charged recovery block-ops on *disk* for the engine."""
+        self._recovery_ops[disk] += n
+
+    def take_recovery_ops(self, disk: int) -> int:
+        """Drain recovery block-ops accumulated for *disk*."""
+        n = self._recovery_ops[disk]
+        if n:
+            self._recovery_ops[disk] = 0
+        return n

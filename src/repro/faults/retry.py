@@ -92,10 +92,16 @@ class CircuitBreaker:
             )
 
     def record_failure(self, disk: int) -> bool:
-        """Count one failure on *disk*; True if the breaker trips now."""
+        """Count one failure on *disk*; True if the breaker trips now.
+
+        The comparison is ``>=`` rather than ``==`` so a counter that
+        somehow passes the threshold without tripping (a caller that
+        inspects :meth:`failures` first, or a threshold lowered mid-run)
+        still fires on the next failure instead of never.
+        """
         n = self._consecutive.get(disk, 0) + 1
         self._consecutive[disk] = n
-        if n == self.threshold:
+        if n >= self.threshold:
             self.trips += 1
             return True
         return False

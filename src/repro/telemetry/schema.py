@@ -56,6 +56,11 @@ __all__ = [
     "FAULT_BREAKER_TRIPS",
     "FAULT_REDIRECTED_ALLOCS",
     "FAULT_STALL_MS",
+    "FAULT_WRITE_FAILURES",
+    "FAULT_TORN_INJECTED",
+    "FAULT_TORN_DETECTED",
+    "FAULT_RECOVERY_READ_IOS",
+    "FAULT_PARITY_BLOCKS",
     "H_FAULT_BACKOFF",
     "EV_OVERLAP_DISKS",
     "EV_DISK_DEATH",
@@ -119,6 +124,19 @@ FAULT_BREAKER_TRIPS = "faults.breaker_trips"
 FAULT_REDIRECTED_ALLOCS = "faults.redirected_allocations"
 #: Simulated time spent inside fault-plan stall windows (overlap path).
 FAULT_STALL_MS = "faults.stall_ms"
+#: Injected transient write failures (each costs one retry attempt).
+FAULT_WRITE_FAILURES = "faults.write_failures"
+#: Writes that persisted a block whose contents no longer match its CRC
+#: seal (the write "tore"); dangerous because the writer sees success.
+FAULT_TORN_INJECTED = "faults.torn_writes_injected"
+#: Torn writes caught by seal verification on a later read or scrub;
+#: the chaos harness asserts this equals the injected count.
+FAULT_TORN_DETECTED = "faults.torn_writes_detected"
+#: Charged parallel read rounds spent reconstructing lost or torn
+#: blocks from parity (recovery is paid for, not free).
+FAULT_RECOVERY_READ_IOS = "faults.recovery_read_ios"
+#: Rotating parity blocks written under ``redundancy="parity"``.
+FAULT_PARITY_BLOCKS = "faults.parity_blocks_written"
 
 # -- histograms ------------------------------------------------------------
 

@@ -95,6 +95,30 @@ def check_striped_run(system: ParallelDiskSystem, run: StripedRun) -> None:
         )
 
 
+def audit_checksums(system: ParallelDiskSystem) -> dict:
+    """Verify every stored block's seal without charging I/O.
+
+    The read-only half of :func:`repro.faults.degraded.scrub_and_repair`
+    — a verification aid for tests and the chaos harness.  Returns
+    ``{"checked": n, "sealed": n, "stale": [(disk, slot), ...]}``;
+    ``stale`` lists blocks whose bytes no longer match their checksum
+    (torn writes that nothing has re-read yet).  Unsealed blocks verify
+    trivially and are excluded from ``sealed``.
+    """
+    checked = sealed = 0
+    stale: list[tuple[int, int]] = []
+    for d, disk in enumerate(system.disks):
+        if d in system.dead_disks:
+            continue
+        for slot, blk in sorted(disk._slots.items()):
+            checked += 1
+            if blk.checksum is not None:
+                sealed += 1
+                if not blk.verify():
+                    stale.append((d, slot))
+    return {"checked": checked, "sealed": sealed, "stale": stale}
+
+
 def check_superblock_run(system: ParallelDiskSystem, run) -> None:
     """Validate a DSM superblock run's on-disk invariants.
 

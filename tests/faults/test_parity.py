@@ -1,0 +1,330 @@
+"""Unit tests for rotating parity: geometry, charged recovery, scrubbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.writer import RunWriter
+from repro.disks.block import Block
+from repro.disks.files import StripedRun
+from repro.disks.system import ParallelDiskSystem
+from repro.errors import DataError, DiskDeadError
+from repro.faults import FaultPlan
+from repro.faults.degraded import scrub_addresses, scrub_and_repair
+from repro.faults.parity import PARITY_RUN_ID, ParityStore
+from repro.verify.checks import audit_checksums
+
+D, B = 4, 8
+
+
+def make_sorted_keys(rng, n):
+    keys = rng.choice(10**9, size=n, replace=False).astype(np.int64)
+    keys.sort()
+    return keys
+
+
+def _system(plan=None):
+    system = ParallelDiskSystem(D, B)
+    system.attach_faults(
+        plan if plan is not None else FaultPlan(seed=1, redundancy="parity")
+    )
+    return system
+
+
+def _run(system, rng, n_blocks=12, run_id=0, start_disk=0):
+    keys = make_sorted_keys(rng, n_blocks * system.block_size)
+    return StripedRun.from_sorted_keys(system, keys, run_id, start_disk)
+
+
+def _tear(system, addr):
+    """Replace the stored block at *addr* with a stale-seal copy."""
+    p = system.resolve(addr)
+    original = system.disks[p.disk]._slots[p.slot]
+    torn = Block(
+        keys=original.keys.copy(),
+        run_id=original.run_id,
+        index=original.index,
+        forecast=original.forecast,
+        payloads=None if original.payloads is None else original.payloads.copy(),
+        checksum=original.checksum,
+    )
+    torn.keys[0] ^= 1
+    system.disks[p.disk]._slots[p.slot] = torn
+    return original
+
+
+class TestGroupGeometry:
+    def test_groups_close_at_d_minus_one_with_rotating_parity(self, rng):
+        system = _system()
+        _run(system, rng, n_blocks=12)
+        store = system._parity
+        assert len(store.groups) == 4
+        assert all(len(g.members) == D - 1 for g in store.groups)
+        assert all(g.sealed for g in store.groups)
+        # Cyclic striping leaves exactly one spindle free per group, and
+        # it rotates: this is RAID-5's layout falling out of the paper's
+        # placement rule.
+        assert [g.parity_disk for g in store.groups] == [3, 2, 1, 0]
+        for g in store.groups:
+            assert g.parity_disk not in {
+                system.resolve(m.addr).disk for m in g.members
+            }
+
+    def test_parity_blocks_are_sealed_and_tagged(self, rng):
+        system = _system()
+        _run(system, rng, n_blocks=12)
+        store = system._parity
+        assert system.faults.stats.parity_blocks_written == 4
+        for g in store.groups:
+            p = system.resolve(g.parity_addr)
+            pblk = system.disks[p.disk].read(p.slot)
+            assert pblk.run_id == PARITY_RUN_ID
+            assert pblk.index == g.gid
+            assert pblk.verify()
+            # The NVRAM XOR is dropped once parity is durable, so
+            # rebuilds must pay for the parity read.
+            assert g.xor_keys is None
+
+    def test_parity_writes_are_charged_one_round_per_group(self, rng):
+        system = _system()
+        before = system.stats.snapshot()
+        _run(system, rng, n_blocks=12)
+        delta = system.stats.since(before)
+        # 3 data stripes + 4 single-disk parity rounds.
+        assert delta.parallel_writes == 7
+        assert delta.blocks_written == 16
+
+    def test_same_disk_collision_closes_group_early(self):
+        system = _system(plan=FaultPlan(seed=3))
+        store = ParityStore(system)
+        for i in range(3):
+            addr = system.allocate(0)
+            blk = Block(
+                keys=np.arange(B, dtype=np.int64) + i, run_id=0, index=i
+            ).seal()
+            store.add_block(addr, 0, blk)
+        # Every block lands on disk 0: each arrival collides with the
+        # open group, closing it at size 1 well below the D-1 target.
+        assert [len(g.members) for g in store.groups[:2]] == [1, 1]
+
+    def test_at_most_one_tear_per_group(self):
+        system = _system(plan=FaultPlan(seed=4))
+        store = ParityStore(system)
+        granted = []
+        for i in range(6):
+            addr = system.allocate(i % D)
+            blk = Block(
+                keys=np.arange(B, dtype=np.int64) + i, run_id=0, index=i
+            ).seal()
+            granted.append(store.add_block(addr, addr.disk, blk, torn=True))
+        # One parity arm absorbs one latent loss: only the first tear of
+        # each (D-1)-member group is granted.
+        assert granted == [True, False, False, True, False, False]
+
+
+class TestReconstruction:
+    def test_member_rebuild_is_bit_identical_and_charged(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        store = system._parity
+        g, member = store.entry_for(run.addresses[0])
+        original = system.peek(run.addresses[0])
+        before = system.stats.snapshot()
+        reads_before = system.faults.stats.recovery_read_ios
+        blk = store.reconstruct_member(g, member)
+        assert np.array_equal(blk.keys, original.keys)
+        assert blk.checksum == member.checksum
+        delta = system.stats.since(before)
+        # Two siblings plus the parity block, all on distinct spindles:
+        # three charged block reads in one parallel round.
+        assert delta.blocks_read == 3
+        assert system.faults.stats.recovery_read_ios - reads_before == 1
+
+    def test_open_group_rebuilds_from_nvram_without_parity_read(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=13)
+        store = system._parity
+        g, member = store.entry_for(run.addresses[12])
+        assert not g.sealed and len(g.members) == 1
+        original = system.peek(run.addresses[12])
+        reads_before = system.faults.stats.recovery_read_ios
+        blk = store.reconstruct_member(g, member)
+        assert np.array_equal(blk.keys, original.keys)
+        # Sole member of an open group: the in-memory running XOR is the
+        # source, so no disk read is charged.
+        assert system.faults.stats.recovery_read_ios == reads_before
+
+    def test_second_loss_in_one_group_raises(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        store = system._parity
+        g, member = store.entry_for(run.addresses[0])
+        sibling = g.members[1]
+        # Simulate mid-rebuild state: the sibling's disk is gone but its
+        # blocks have not been re-homed yet.
+        system.dead_disks.add(system.resolve(sibling.addr).disk)
+        with pytest.raises(DiskDeadError, match="lost two members"):
+            store.reconstruct_member(g, member)
+
+    def test_corrupt_sibling_during_rebuild_raises(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        store = system._parity
+        g, member = store.entry_for(run.addresses[0])
+        _tear(system, g.members[1].addr)
+        with pytest.raises(DataError, match="doubly damaged"):
+            store.reconstruct_member(g, member)
+
+
+class TestDeferredFree:
+    def test_member_free_defers_until_whole_group_freed(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        store = system._parity
+        g, _ = store.entry_for(run.addresses[0])
+        used = [system.disks[d].used_blocks for d in range(D)]
+        system.free(run.addresses[0])
+        # The slot stays physically occupied: a freed member remains a
+        # reconstruction source for its siblings.
+        assert system.disks[0].used_blocks == used[0]
+        rebuilt = store.reconstruct_member(g, g.members[1])
+        assert np.array_equal(rebuilt.keys, system.peek(run.addresses[1]).keys)
+        system.free(run.addresses[1])
+        system.free(run.addresses[2])
+        # Whole group freed: members and the parity slot release together.
+        assert system.disks[0].used_blocks == used[0] - 1
+        assert system.disks[1].used_blocks == used[1] - 1
+        assert system.disks[2].used_blocks == used[2] - 1
+        assert system.disks[3].used_blocks == used[3] - 1  # parity of group 0
+        assert store.entry_for(run.addresses[0]) is None
+
+
+class TestTornRepair:
+    def test_read_detects_and_repairs_in_place(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        original = _tear(system, run.addresses[4])
+        p = system.resolve(run.addresses[4])
+        used = system.disks[p.disk].used_blocks
+        blk = system.read_stripe([run.addresses[4]])[0]
+        assert np.array_equal(blk.keys, original.keys)
+        assert system.faults.stats.torn_writes_detected == 1
+        assert system.faults.stats.recovery_read_ios > 0
+        # Repair replaces the bytes in the existing slot — the slot is
+        # never cycled through the free list.
+        assert system.disks[p.disk].used_blocks == used
+        assert system.disks[p.disk]._slots[p.slot].verify()
+
+    def test_tear_without_parity_is_fatal(self, rng):
+        system = _system(plan=FaultPlan(seed=5))
+        run = _run(system, rng, n_blocks=8)
+        _tear(system, run.addresses[0])
+        with pytest.raises(DataError, match="redundancy='none'"):
+            system.read_stripe([run.addresses[0]])
+
+    def test_scrub_addresses_charges_scan_and_reports(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        before = system.stats.snapshot()
+        rep = scrub_addresses(system, run.addresses)
+        assert rep.scanned == 12
+        assert rep.repaired == 0
+        assert rep.scan_read_rounds == 3  # 12 blocks over 4 spindles
+        assert system.stats.since(before).blocks_read == 12
+
+    def test_full_scrub_repairs_every_stale_seal(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        _tear(system, run.addresses[1])
+        _tear(system, run.addresses[7])
+        audit = audit_checksums(system)
+        assert len(audit["stale"]) == 2
+        rep = scrub_and_repair(system)
+        assert rep.repaired == 2
+        assert rep.scanned == 16  # 12 data + 4 parity blocks
+        assert system.faults.stats.torn_writes_detected == 2
+        assert audit_checksums(system)["stale"] == []
+
+
+class TestParityDeath:
+    def test_death_rebuilds_bit_identically_with_charged_reads(self, rng):
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        before = [system.peek(a).keys.copy() for a in run.addresses]
+        system._kill_disk(2, "test")
+        report = system.death_reports[0]
+        assert report.mode == "parity"
+        # Disk 2 held data blocks 2, 6, 10 plus group 1's parity block.
+        assert report.recovered_blocks == 4
+        assert report.recovery_read_rounds > 0
+        assert (
+            system.faults.stats.recovery_read_ios >= report.recovery_read_rounds
+        )
+        for addr, keys in zip(run.addresses, before):
+            assert np.array_equal(system.peek(addr).keys, keys)
+
+    def test_tear_plus_parity_loss_is_loud_data_loss(self, rng):
+        # The URE-during-rebuild window: a latent tear whose repair
+        # source (the group's parity block) rides the dying disk is a
+        # two-loss group.  The pristine bytes are genuinely gone, and
+        # the model must say so rather than serve stale data.
+        system = _system()
+        run = _run(system, rng, n_blocks=12)
+        _tear(system, run.addresses[0])  # member of group 0, parity on 3
+        with pytest.raises(DataError, match="corrupt and parity is lost"):
+            system._kill_disk(3, "test")
+
+    def test_untracked_block_makes_parity_rebuild_loud(self, rng):
+        system = _system()
+        _run(system, rng, n_blocks=12)
+        rogue = Block(
+            keys=np.arange(B, dtype=np.int64), run_id=7, index=0
+        ).seal()
+        system.disks[1].write(system.disks[1].allocate(), rogue)
+        with pytest.raises(DataError, match="not parity-tracked"):
+            system._kill_disk(1, "test")
+
+
+class TestWriterFaultPath:
+    def _feed(self, writer, keys):
+        """Append in ragged chunks so the ring wraps mid-append."""
+        sizes = [5, 17, 64, 3, 96, 40]
+        pos, i = 0, 0
+        while pos < keys.size:
+            take = min(sizes[i % len(sizes)], keys.size - pos)
+            writer.append(keys[pos : pos + take])
+            pos += take
+            i += 1
+
+    def test_ring_wrap_and_partial_stripe_under_write_storm(self, rng):
+        system = _system(plan=FaultPlan(seed=21, write_fail_p=0.2))
+        writer = RunWriter(system, run_id=0, start_disk=1)
+        keys = make_sorted_keys(rng, D * B * 7 + 13)
+        self._feed(writer, keys)
+        run = writer.finalize()
+        assert writer.max_buffered_blocks <= 2 * D
+        out = np.concatenate([system.peek(a).keys for a in run.addresses])
+        assert np.array_equal(out, keys)
+        assert system.faults.stats.write_failures > 0
+
+    def test_torn_writes_surface_on_reread_and_repair(self, rng):
+        system = _system(
+            plan=FaultPlan(seed=22, torn_write_p=0.25, redundancy="parity")
+        )
+        writer = RunWriter(system, run_id=0, start_disk=0)
+        keys = make_sorted_keys(rng, D * B * 7 + 13)
+        self._feed(writer, keys)
+        run = writer.finalize()
+        s = system.faults.stats
+        assert s.torn_writes_injected > 0
+        # A charged re-read of every block trips each stale seal and
+        # repairs it from parity.
+        got = []
+        for addr in run.addresses:
+            blk = system.read_stripe([addr])[0]
+            assert blk.verify()
+            got.append(blk.keys)
+        assert np.array_equal(np.concatenate(got), keys)
+        assert s.torn_writes_detected == s.torn_writes_injected
+        assert audit_checksums(system)["stale"] == []

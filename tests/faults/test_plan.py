@@ -64,6 +64,34 @@ class TestInjectorValidation:
                 FaultPlan(death=DiskDeath(disk=0, after_ops=0)), n_disks=1
             )
 
+    def test_death_sequence_targets_must_exist(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(
+                FaultPlan(deaths=(DiskDeath(disk=7, after_ops=0),)), n_disks=4
+            )
+
+    def test_death_sequence_must_leave_a_survivor(self):
+        deaths = tuple(DiskDeath(disk=d, after_ops=d) for d in range(3))
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(deaths=deaths), n_disks=3)
+
+    def test_each_disk_dies_at_most_once(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(
+                death=DiskDeath(disk=1, after_ops=0),
+                deaths=(DiskDeath(disk=1, after_ops=9),),
+            )
+
+    def test_redundancy_mode_is_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(redundancy="raid6")
+
+    def test_write_probabilities_are_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(write_fail_p=1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(torn_write_p=-0.5)
+
 
 class TestDeterminism:
     def _outcomes(self, plan, n_disks=3, reads=200):
@@ -107,6 +135,50 @@ class TestDeterminism:
             assert out.n_failures == 0 and not out.corrupt
         assert any(inj.plan_read(1).n_failures > 0 for _ in range(100))
 
+    def test_plan_write_replays_identically(self):
+        plan = FaultPlan(seed=9, write_fail_p=0.3, torn_write_p=0.2)
+
+        def draws():
+            inj = FaultInjector(plan, 2)
+            return [
+                (o.n_failures, o.torn)
+                for _ in range(200)
+                for o in (inj.plan_write(0),)
+            ]
+
+        outcomes = draws()
+        assert outcomes == draws()
+        assert any(n > 0 for n, _ in outcomes)
+        assert any(t for _, t in outcomes)
+
+    def test_fail_disks_scopes_writes_too(self):
+        plan = FaultPlan(
+            seed=5, write_fail_p=0.5, torn_write_p=0.5, fail_disks=(1,)
+        )
+        inj = FaultInjector(plan, 3)
+        for _ in range(100):
+            out = inj.plan_write(0)
+            assert out.n_failures == 0 and not out.torn
+        assert any(inj.plan_write(1).n_failures > 0 for _ in range(100))
+
+    def test_write_path_draws_nothing_on_read_only_plans(self):
+        # A read-only plan must replay bit-identically whether or not
+        # the write path consults the injector: plan_write is feature-
+        # gated, so it consumes no randomness here.
+        plan = FaultPlan(seed=11, read_fail_p=0.2, corrupt_p=0.1)
+        a = FaultInjector(plan, 2)
+        b = FaultInjector(plan, 2)
+        seq_a = []
+        seq_b = []
+        for _ in range(100):
+            a.plan_write(0)  # interleaved write decisions...
+            o = a.plan_read(0)
+            seq_a.append((o.n_failures, o.corrupt))
+        for _ in range(100):
+            o = b.plan_read(0)  # ...versus none at all
+            seq_b.append((o.n_failures, o.corrupt))
+        assert seq_a == seq_b
+
 
 class TestInjectorAccounting:
     def test_death_due_fires_after_threshold_ops(self):
@@ -137,7 +209,14 @@ class TestInjectorAccounting:
         assert inj.stats.stall_ms == pytest.approx(3.0)
         # Outside the window, and on an unlisted disk: no change.
         assert inj.stall_release(0, 20.0) == 20.0
-        assert inj.stall_release(1, 12.0) == 0.0
+        assert inj.stall_release(1, 12.0) == 12.0
+
+    def test_stall_release_without_windows_returns_candidate(self):
+        # Regression: a disk with no stall windows used to get 0.0 back,
+        # which only worked because the caller fed it into a max().
+        inj = FaultInjector(FaultPlan(seed=0), 2)
+        assert inj.stall_release(0, 37.5) == 37.5
+        assert inj.stats.stall_ms == 0.0
 
     def test_chained_stall_windows(self):
         plan = FaultPlan(

@@ -85,3 +85,23 @@ class TestCircuitBreaker:
     def test_threshold_validation(self):
         with pytest.raises(ConfigError):
             CircuitBreaker(threshold=0)
+
+    def test_fires_past_threshold_not_only_at_it(self):
+        # Regression: the trip test was `n == threshold`, so a counter
+        # already past the threshold (e.g. after lowering it mid-run)
+        # would never fire again.
+        br = CircuitBreaker(threshold=5)
+        for _ in range(4):
+            assert not br.record_failure(0)
+        br.threshold = 2  # lowered mid-run
+        assert br.record_failure(0)  # 5 >= 2 -> trips even though != 2
+        assert br.trips == 1
+
+    def test_keeps_firing_while_past_threshold(self):
+        br = CircuitBreaker(threshold=2)
+        br.record_failure(0)
+        assert br.record_failure(0)
+        # No reset: the streak is still >= threshold, so it keeps firing
+        # rather than silently riding past the boundary.
+        assert br.record_failure(0)
+        assert br.trips == 2
