@@ -333,6 +333,58 @@ def bench_faults(n_records: int, k: int = 4, n_disks: int = 4,
     }
 
 
+def bench_cluster(n_records: int, node_counts: tuple[int, ...] = (1, 2, 4),
+                  k: int = 4, n_disks: int = 4, block_size: int = 64,
+                  seed: int = 2) -> dict:
+    """Scale-out table: simulated makespan vs. cluster size at fixed N.
+
+    The same input is cluster-sorted at every P in *node_counts*; every
+    row must produce output bit-identical to ``np.sort`` of the input
+    (which is also what single-node SRM produces), so the table doubles
+    as a cross-P equivalence check.  Makespan is the simulated per-phase
+    critical path (max across nodes, plus link time), so the scaling
+    column shows what the extra hardware buys once exchange costs are
+    charged.
+    """
+    from .cluster import ClusterConfig, cluster_sort
+
+    keys = uniform_permutation(n_records, rng=seed)
+    expect = np.sort(keys)
+    cfg = SRMConfig.from_k(k, n_disks, block_size)
+    rows = []
+    base_ms = None
+    for p in node_counts:
+        wall, (out, res) = _time(
+            lambda p=p: cluster_sort(
+                keys, ClusterConfig(n_nodes=p), cfg, rng=seed + 1
+            )
+        )
+        if not np.array_equal(out, expect):
+            raise DataError(f"cluster P={p} output differs from sort(input)")
+        if base_ms is None:
+            base_ms = res.makespan_ms
+        rows.append({
+            "n_nodes": p,
+            "wall_s": round(wall, 6),
+            "makespan_ms": round(res.makespan_ms, 1),
+            "speedup_vs_p1": round(base_ms / res.makespan_ms, 3),
+            "partition_skew": round(res.partition_skew, 4),
+            "total_parallel_ios": res.total_parallel_ios,
+            "max_node_parallel_ios": res.max_node_parallel_ios,
+            "exchange_blocks": res.exchange.blocks_crossed,
+            "link_ms": round(res.exchange.link_ms, 2),
+        })
+    return {
+        "rows": rows,
+        "output_identical_across_p": True,  # asserted above
+        "params": {
+            "n_records": n_records, "k": k, "n_disks": n_disks,
+            "block_size": block_size, "seed": seed,
+            "node_counts": list(node_counts),
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run the full harness; returns the JSON-ready report."""
     scale = QUICK if quick else FULL
@@ -346,6 +398,10 @@ def run_benchmarks(quick: bool = False) -> dict:
         "writer": bench_writer(scale["writer_records"]),
         "telemetry": bench_telemetry(scale["merge_records"]),
         "faults": bench_faults(scale["merge_records"]),
+        "cluster": bench_cluster(
+            scale["merge_records"],
+            node_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
+        ),
     }
     return report
 
@@ -387,6 +443,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"parity        wall overhead {pr['overhead_frac']*100:+.1f}%"
           f"  io {pr['io_overhead_frac']*100:+.1f}%"
           f"  ({pr['torn_writes_detected']} tears repaired)")
+    for row in report["cluster"]["rows"]:
+        print(f"cluster P={row['n_nodes']:<2}  makespan "
+              f"{row['makespan_ms']:>10,.0f} ms"
+              f"  speedup {row['speedup_vs_p1']:.2f}x"
+              f"  skew {row['partition_skew']:.3f}"
+              f"  link {row['link_ms']:.1f} ms")
     print(f"report -> {args.out}")
 
     ok = True

@@ -9,6 +9,7 @@ Usage::
     python -m repro figure1
     python -m repro sort --n 100000 --disks 4 --block 64 --k 4 [--dsm]
     python -m repro sort --telemetry run.jsonl
+    python -m repro cluster-sort --n 100000 --nodes 4 [--check] [--lose-node 1]
     python -m repro inspect run.jsonl [--check]
     python -m repro bench [--quick] [--out BENCH_sort_throughput.json]
     python -m repro chaos [--quick] [--check] [--out chaos.jsonl]
@@ -158,6 +159,76 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_cluster_sort(args: argparse.Namespace) -> int:
+    from .cluster import ClusterConfig, NodeLoss, cluster_sort
+    from .verify import check_cluster_shards
+    from .workloads import zipf_keys
+
+    if args.workload == "zipf":
+        keys = zipf_keys(args.n, alpha=1.2, n_distinct=max(2, args.n // 100),
+                         rng=args.seed)
+    else:
+        keys = uniform_permutation(args.n, rng=args.seed)
+    cfg = SRMConfig.from_k(args.k, args.disks, args.block)
+    cluster = ClusterConfig(n_nodes=args.nodes, oversample=args.oversample)
+    loss = None
+    if args.lose_node is not None:
+        loss = NodeLoss(node=args.lose_node, after_round=args.lose_after_round)
+    telemetry = None
+    if args.telemetry is not None:
+        telemetry = Telemetry(
+            algo="cluster",
+            n_records=args.n,
+            n_nodes=args.nodes,
+            n_disks=args.disks,
+            block_size=args.block,
+            seed=args.seed,
+        )
+    t0 = time.perf_counter()
+    out, res = cluster_sort(
+        keys, cluster, cfg, rng=args.seed, telemetry=telemetry, node_loss=loss
+    )
+    dt = time.perf_counter() - t0
+    if telemetry is not None:
+        telemetry.set_meta(merge_order=cfg.merge_order)
+        telemetry.finish()
+        telemetry.write_jsonl(args.telemetry)
+    ok = bool(np.array_equal(out, np.sort(keys)))
+    ex = res.exchange
+    print(f"cluster: sorted {args.n} records on P={args.nodes} nodes "
+          f"(D={args.disks}, B={args.block}, R={cfg.merge_order}) "
+          f"in {dt:.2f}s  (correct: {ok})")
+    print(f"  shards: {res.shard_sizes}  partition skew: "
+          f"{res.partition_skew:.3f}")
+    print(f"  exchange: {ex.rounds} rounds, {ex.blocks_crossed} blocks "
+          f"crossed links ({ex.self_blocks} stayed local), "
+          f"link time {ex.link_ms:.1f} ms")
+    if ex.node_losses:
+        print(f"  node losses: {ex.node_losses} "
+              f"({ex.rebuild_blocks_resent} blocks re-sent, "
+              f"{ex.rebuild_read_ios} recovery reads charged)")
+    print(f"  parallel I/Os: {res.total_parallel_ios} total, "
+          f"{res.max_node_parallel_ios} on the busiest node")
+    phases = ", ".join(
+        f"{k} {v:.0f}" for k, v in res.makespan_breakdown.items()
+    )
+    print(f"  makespan: {res.makespan_ms:.0f} ms ({phases})")
+    if args.check:
+        from .errors import DataError
+
+        try:
+            check_cluster_shards(res)
+        except DataError as exc:
+            print(f"\ncluster check FAILED: {exc}", file=sys.stderr)
+            return 1
+        if not ok:
+            print("\ncluster check FAILED: output is not sorted(input)",
+                  file=sys.stderr)
+            return 1
+        print("\ncluster check passed (shards valid, globally ordered)")
+    return 0 if ok else 1
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     report = RunReport.from_jsonl(args.trace)
     print(report.render())
@@ -254,6 +325,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         block_size=args.block,
         seed=args.seed,
         quick=args.quick,
+        cluster_nodes=args.nodes,
     )
     print(report.render())
     if args.out is not None:
@@ -339,6 +411,35 @@ def build_parser() -> argparse.ArgumentParser:
                    "(render it with 'repro inspect PATH')")
     s.set_defaults(func=_cmd_sort)
 
+    cs = sub.add_parser(
+        "cluster-sort",
+        help="sharded multi-node sort: splitters, all-to-all, shard merges",
+    )
+    cs.add_argument("--n", type=int, default=100_000)
+    cs.add_argument("--nodes", type=int, default=4,
+                    help="cluster size P (each node owns its own disks)")
+    cs.add_argument("--disks", type=int, default=4,
+                    help="disks per node")
+    cs.add_argument("--block", type=int, default=64)
+    cs.add_argument("--k", type=int, default=4)
+    cs.add_argument("--seed", type=int, default=0)
+    cs.add_argument("--oversample", type=int, default=32,
+                    help="samples per node per splitter")
+    cs.add_argument("--workload", choices=["uniform", "zipf"],
+                    default="uniform",
+                    help="input distribution (zipf stresses the splitters)")
+    cs.add_argument("--lose-node", type=int, default=None, metavar="NODE",
+                    help="kill NODE mid-exchange and rebuild it, charged")
+    cs.add_argument("--lose-after-round", type=int, default=1,
+                    help="exchange round after which the node dies "
+                    "(with --lose-node)")
+    cs.add_argument("--check", action="store_true",
+                    help="exit 1 unless shards pass on-disk + global-order "
+                    "verification")
+    cs.add_argument("--telemetry", metavar="PATH", default=None,
+                    help="capture a structured JSONL trace to PATH")
+    cs.set_defaults(func=_cmd_cluster_sort)
+
     ins = sub.add_parser(
         "inspect",
         help="render a telemetry JSONL trace as a per-phase run report",
@@ -401,6 +502,9 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--block", type=int, default=16)
     ch.add_argument("--seed", type=int, default=1234,
                     help="root seed for data, layout, and fault streams")
+    ch.add_argument("--nodes", type=int, default=4,
+                    help="also run the cluster sweep (node loss, skewed "
+                    "partitions) on this many nodes; 0 disables")
     ch.add_argument("--quick", action="store_true",
                     help="core scenarios only: transient/corrupt/death plus "
                          "write storm, torn writes, parity rebuild, and "

@@ -1,0 +1,30 @@
+"""Scale-out: sharded multi-node external sorting.
+
+A :func:`cluster_sort` spreads one logical sort across ``P`` simulated
+nodes — each with its own :class:`~repro.disks.system.ParallelDiskSystem`
+and §5.2 memory pool — via sample-based splitters, a charged all-to-all
+exchange (:class:`LinkModel` alpha–beta links), and per-node SRM shard
+merges.  See ``docs/CLUSTER.md``.
+"""
+
+from .exchange import ExchangeReport, NodeLoss, Transfer, execute_exchange, plan_transfers
+from .link import LINK_1GBE, LinkModel
+from .sort import ClusterConfig, ClusterNode, ClusterSortResult, cluster_sort
+from .splitters import partition_skew, sample_node_keys, select_splitters
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterNode",
+    "ClusterSortResult",
+    "ExchangeReport",
+    "LINK_1GBE",
+    "LinkModel",
+    "NodeLoss",
+    "Transfer",
+    "cluster_sort",
+    "execute_exchange",
+    "partition_skew",
+    "plan_transfers",
+    "sample_node_keys",
+    "select_splitters",
+]

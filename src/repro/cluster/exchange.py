@@ -1,0 +1,250 @@
+"""The all-to-all exchange phase: range-partition runs to owner nodes.
+
+Every formed run is already sorted, so range partitioning it by the
+splitters cuts it into at most ``P`` contiguous *segments*, each still
+sorted.  A segment travels as one message: charged parallel reads on
+the source node's disks, a :class:`~repro.cluster.link.LinkModel`
+transfer over the ``(src, dst)`` link, and charged parallel writes on
+the owner's disks, where it lands as a fresh forecast-format
+:class:`~repro.disks.files.StripedRun` awaiting the shard merge.
+
+Messages execute in ``P - 1`` shifted rounds (round ``r`` sends
+``i -> (i + r) mod P``) so each round uses every link at most once —
+the round's link time is its *slowest* message, and rounds sum into the
+exchange critical path.  Self-deliveries (round 0) cross no link.
+
+Node loss mid-exchange is survivable because source runs are durable
+until the exchange commits: a lost node is replaced by a fresh disk
+array, its runs are re-formed from its input partition (charged), and
+every segment it had already received is re-sent — re-reading the
+spanned source blocks (charged), re-crossing the link, re-writing on
+the replacement.  Nothing is free: the rebuild shows up in the
+``cluster.rebuild_*`` metrics and the exchange makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..disks.files import StripedRun
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class NodeLoss:
+    """Kill node *node* after exchange round *after_round* completes.
+
+    ``after_round = 0`` loses the node right after its self-deliveries;
+    any value below ``P - 1`` leaves later rounds to run against the
+    replacement.
+    """
+
+    node: int
+    after_round: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigError(f"node must be >= 0, got {self.node}")
+        if self.after_round < 0:
+            raise ConfigError(
+                f"after_round must be >= 0, got {self.after_round}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One segment of one source run, addressed to its owner node."""
+
+    src: int
+    dst: int
+    run_index: int
+    lo: int  # record range [lo, hi) within the source run
+    hi: int
+    keys: np.ndarray = field(repr=False)
+
+    @property
+    def n_records(self) -> int:
+        return self.hi - self.lo
+
+    def n_blocks(self, block_size: int) -> int:
+        return -(-(self.hi - self.lo) // block_size)
+
+    def spanned_addresses(self, run: StripedRun) -> list:
+        """Source-run blocks containing this segment (for re-reads)."""
+        b = run.block_size
+        return run.addresses[self.lo // b : -(-self.hi // b)]
+
+
+@dataclass
+class ExchangeReport:
+    """Accounting of one exchange phase (including any rebuild)."""
+
+    rounds: int = 0
+    blocks_crossed: int = 0
+    self_blocks: int = 0
+    link_ms: float = 0.0
+    #: Per-round slowest-link time, ms (round 0 is always 0.0).
+    round_ms: list[float] = field(default_factory=list)
+    node_losses: int = 0
+    rebuild_blocks_resent: int = 0
+    rebuild_read_ios: int = 0
+
+
+def plan_transfers(
+    node_runs: list[list[StripedRun]],
+    node_run_keys: list[list[np.ndarray]],
+    splitters: np.ndarray,
+) -> list[Transfer]:
+    """Cut every run into owner-addressed segments.
+
+    *node_run_keys* holds each run's keys as read (and charged) by the
+    caller; a run's cut points come from ``searchsorted`` against the
+    splitters, so equal keys always share an owner.
+    """
+    transfers: list[Transfer] = []
+    P = len(node_runs)
+    for src, (runs, keys_per_run) in enumerate(zip(node_runs, node_run_keys)):
+        for ri, keys in enumerate(keys_per_run):
+            cuts = np.concatenate(
+                [[0], np.searchsorted(keys, splitters, side="right"), [keys.size]]
+            )
+            for dst in range(P):
+                lo, hi = int(cuts[dst]), int(cuts[dst + 1])
+                if hi > lo:
+                    transfers.append(
+                        Transfer(src, dst, ri, lo, hi, keys[lo:hi])
+                    )
+    return transfers
+
+
+def execute_exchange(
+    nodes,
+    transfers: list[Transfer],
+    link,
+    recv_rngs: list[np.random.Generator],
+    node_loss: Optional[NodeLoss] = None,
+    rebuild_node: Optional[Callable[[int], list[StripedRun]]] = None,
+    telemetry=None,
+) -> ExchangeReport:
+    """Run the shifted-round exchange, delivering segments to owners.
+
+    *nodes* is the cluster's node list (each with ``.system``,
+    ``.runs`` and ``.received``); *recv_rngs* supplies each owner's
+    start-disk stream so received runs land with SRM's randomized
+    layout.  On *node_loss*, *rebuild_node* must re-form the lost
+    node's runs on its replacement system (the caller owns input
+    durability and the replacement's disk array).
+    """
+    P = len(nodes)
+    report = ExchangeReport()
+    by_round: dict[int, list[Transfer]] = {}
+    for t in transfers:
+        by_round.setdefault((t.dst - t.src) % P, []).append(t)
+
+    next_run_id = [len(n.runs) + 1000 for n in nodes]
+
+    def deliver(t: Transfer, crossed: bool) -> None:
+        dst_node = nodes[t.dst]
+        B = dst_node.system.block_size
+        start = int(recv_rngs[t.dst].integers(0, dst_node.system.n_disks))
+        run = StripedRun.from_sorted_keys(
+            dst_node.system,
+            t.keys,
+            run_id=next_run_id[t.dst],
+            start_disk=start,
+            count_ios=True,
+        )
+        next_run_id[t.dst] += 1
+        dst_node.received.append(run)
+        if crossed:
+            report.blocks_crossed += t.n_blocks(B)
+        else:
+            report.self_blocks += t.n_blocks(B)
+
+    lost = node_loss.node if node_loss is not None else None
+    if lost is not None and lost >= P:
+        raise ConfigError(f"node {lost} does not exist (P={P})")
+
+    for r in range(P):
+        round_transfers = by_round.get(r, [])
+        for t in round_transfers:
+            deliver(t, crossed=r != 0)
+        slowest = 0.0
+        if r != 0:
+            for t in round_transfers:
+                B = nodes[t.dst].system.block_size
+                slowest = max(slowest, link.transfer_ms(t.n_blocks(B)))
+        report.round_ms.append(slowest)
+        report.link_ms += slowest
+        report.rounds += 1
+
+        if lost is not None and node_loss.after_round == r:
+            _rebuild_lost_node(
+                nodes, lost, r, by_round, link, recv_rngs,
+                rebuild_node, deliver, report, next_run_id, telemetry,
+            )
+            lost = None  # one loss per exchange
+    return report
+
+
+def _rebuild_lost_node(
+    nodes, lost, completed_round, by_round, link, recv_rngs,
+    rebuild_node, deliver, report, next_run_id, telemetry,
+) -> None:
+    """Replace a dead node and re-send everything it had received."""
+    if rebuild_node is None:
+        raise ConfigError("node loss requires a rebuild_node callback")
+    report.node_losses += 1
+    dead = nodes[lost]
+    # Everything on the dead node's disks is gone: its formed runs and
+    # every segment delivered so far.  The caller provisions a fresh
+    # disk array and re-forms the runs from the durable input (charged).
+    dead.received = []
+    dead.runs = rebuild_node(lost)
+    next_run_id[lost] = len(dead.runs) + 1000
+
+    # Re-send all segments the dead node had received in completed
+    # rounds.  Sources re-read the spanned run blocks (charged), the
+    # link is crossed again, and the replacement pays the writes.
+    resent_ms = 0.0
+    for r in range(completed_round + 1):
+        for t in by_round.get(r, []):
+            if t.dst != lost:
+                continue
+            src_node = nodes[t.src]
+            addrs = t.spanned_addresses(src_node.runs[t.run_index])
+            _, n_ops = src_node.system.read_batch(addrs)
+            report.rebuild_read_ios += n_ops
+            deliver(t, crossed=t.src != lost)
+            B = nodes[t.dst].system.block_size
+            report.rebuild_blocks_resent += t.n_blocks(B)
+            if t.src != lost:
+                resent_ms += link.transfer_ms(t.n_blocks(B))
+    # The replacement must also re-read its rebuilt runs to source the
+    # outgoing segments of rounds that have not executed yet — the
+    # original reads died with the old disks.
+    P = len(nodes)
+    for r in range(completed_round + 1, P):
+        for t in by_round.get(r, []):
+            if t.src != lost:
+                continue
+            addrs = t.spanned_addresses(dead.runs[t.run_index])
+            _, n_ops = dead.system.read_batch(addrs)
+            report.rebuild_read_ios += n_ops
+    # Re-sent messages share the replacement's ingest link, so they
+    # serialize: the rebuild adds their summed transfer time.
+    report.link_ms += resent_ms
+    report.round_ms.append(resent_ms)
+    if telemetry is not None:
+        from ..telemetry.schema import EV_NODE_LOSS
+
+        telemetry.event(
+            EV_NODE_LOSS,
+            node=lost,
+            after_round=completed_round,
+            rebuild_blocks=report.rebuild_blocks_resent,
+            rebuild_read_ios=report.rebuild_read_ios,
+        )

@@ -1,0 +1,97 @@
+"""Sample-based splitter selection (Rahn–Sanders–Singler style).
+
+Each node draws ``oversample · (P - 1)`` records uniformly from its
+formed runs; the gathered sample is sorted and the ``P - 1`` splitters
+are its ``j/P`` quantiles.  Oversampling tightens the shard-size bound:
+with ``a = oversample`` samples per splitter per node, the expected
+max/mean shard ratio shrinks like ``1 + O(1/sqrt(a))``.
+
+Sampling is *charged*: the blocks containing the sampled records are
+fetched with real parallel reads on each node's disk system (one
+``read_batch`` per node), exactly like the algorithmic reads the paper
+counts.  Every draw comes from a per-node child stream of the root
+seed (``rng.spawn``), so splitters are deterministic regardless of
+node iteration order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..disks.files import StripedRun
+from ..disks.system import ParallelDiskSystem
+from ..errors import ConfigError
+
+
+def sample_node_keys(
+    system: ParallelDiskSystem,
+    runs: list[StripedRun],
+    n_samples: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int]:
+    """Draw *n_samples* record keys from a node's runs, charging reads.
+
+    Positions are uniform over the node's records; the containing
+    blocks are read with one greedy-striped ``read_batch``.  Returns
+    the sampled keys and the parallel reads charged.
+    """
+    if not runs:
+        return np.empty(0, dtype=np.int64), 0
+    counts = np.array([r.n_records for r in runs], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    total = int(offsets[-1])
+    picks = np.sort(rng.integers(0, total, size=n_samples))
+    run_of = np.searchsorted(offsets, picks, side="right") - 1
+    addresses = []
+    lookups = []  # (block index within read_batch, offset in block)
+    seen: dict[tuple[int, int], int] = {}
+    for pick, ri in zip(picks, run_of):
+        run = runs[int(ri)]
+        rec = int(pick - offsets[ri])
+        blk_idx = rec // run.block_size
+        key = (int(ri), blk_idx)
+        if key not in seen:
+            seen[key] = len(addresses)
+            addresses.append(run.addresses[blk_idx])
+        lookups.append((seen[key], rec % run.block_size))
+    blocks, n_ops = system.read_batch(addresses)
+    keys = np.array(
+        [int(blocks[b].keys[off]) for b, off in lookups], dtype=np.int64
+    )
+    return keys, n_ops
+
+
+def select_splitters(
+    samples_per_node: list[np.ndarray], n_nodes: int
+) -> np.ndarray:
+    """Pick ``P - 1`` splitters from the gathered per-node samples.
+
+    The concatenated sample is sorted and the splitters are its
+    ``j/P`` quantiles, ``j = 1..P-1`` — the standard sample-sort rule.
+    """
+    if n_nodes < 1:
+        raise ConfigError(f"need at least one node, got {n_nodes}")
+    if n_nodes == 1:
+        return np.empty(0, dtype=np.int64)
+    gathered = np.sort(np.concatenate(samples_per_node))
+    if gathered.size < n_nodes - 1:
+        raise ConfigError(
+            f"{gathered.size} samples cannot yield {n_nodes - 1} splitters"
+        )
+    idx = (np.arange(1, n_nodes) * gathered.size) // n_nodes
+    return gathered[idx].astype(np.int64)
+
+
+def partition_skew(shard_sizes: list[int]) -> float:
+    """Splitter quality: ``max / mean`` shard size (1.0 = perfect).
+
+    The chaos harness bounds this on skewed inputs; an unlucky or
+    buggy splitter set shows up as a ratio approaching ``P``.
+    """
+    if not shard_sizes:
+        return 1.0
+    sizes = np.asarray(shard_sizes, dtype=np.float64)
+    mean = sizes.mean()
+    if mean == 0:
+        return 1.0
+    return float(sizes.max() / mean)

@@ -19,7 +19,13 @@ from .job import MergeJob
 from .layout import LayoutStrategy, choose_start_disks
 from .losertree import LoserTree
 from .merge import MERGERS, MergeResult, merge_runs
-from .mergesort import PassStats, SortResult, srm_mergesort, srm_sort
+from .mergesort import (
+    PassStats,
+    SortResult,
+    run_merge_passes,
+    srm_mergesort,
+    srm_sort,
+)
 from .phases import (
     PhaseBound,
     initial_load_reads,
@@ -63,6 +69,7 @@ __all__ = [
     "merge_runs",
     "PassStats",
     "SortResult",
+    "run_merge_passes",
     "srm_mergesort",
     "srm_sort",
     "PhaseBound",

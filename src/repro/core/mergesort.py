@@ -106,6 +106,101 @@ class SortResult:
         return keys, np.concatenate([b.payloads for b in blocks])
 
 
+def run_merge_passes(
+    system: ParallelDiskSystem,
+    runs: list[StripedRun],
+    config: SRMConfig,
+    result: SortResult,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+    rng: RngLike = None,
+    validate: bool = False,
+    prefetch: bool = False,
+    overlap: OverlapConfig | None = None,
+    timing: DiskTimingModel | None = None,
+    merger: str = "auto",
+    telemetry=None,
+    next_run_id: int | None = None,
+) -> StripedRun:
+    """Merge *runs* down to a single run with ``ceil(log_R)`` passes.
+
+    The shared back half of every external sort in this repo: the SRM
+    driver calls it after run formation, and each cluster node calls it
+    on the runs it received from the exchange phase.  Pass accounting
+    (``PassStats``, schedules, heap cycles, overlap reports) accumulates
+    into *result*; the final single run is returned.  A one-run input
+    returns immediately with no I/O.
+    """
+    gen = ensure_rng(rng)
+    tel = telemetry if telemetry is not None else TELEMETRY_OFF
+    R = config.merge_order
+    if next_run_id is None:
+        next_run_id = len(runs)
+    pass_index = len(result.passes)
+    while len(runs) > 1:
+        pass_index += 1
+        groups = [runs[i : i + R] for i in range(0, len(runs), R)]
+        out_runs: list[StripedRun] = []
+        starts = choose_start_disks(len(groups), system.n_disks, strategy, gen)
+        pass_span = tel.span(
+            SPAN_MERGE_PASS,
+            system=system,
+            pass_index=pass_index,
+            n_runs_in=len(runs),
+        )
+        reads = writes = flush_ops = blocks_flushed = n_merges = 0
+        for g, group in enumerate(groups):
+            if len(group) == 1:
+                # A leftover run passes through untouched (no I/O).
+                out_runs.append(group[0])
+                continue
+            before = system.stats.snapshot()
+            mres = merge_runs(
+                system,
+                group,
+                output_run_id=next_run_id,
+                output_start_disk=int(starts[g]),
+                validate=validate,
+                prefetch=prefetch,
+                overlap=overlap,
+                timing=timing,
+                merger=merger,
+                telemetry=telemetry,
+            )
+            next_run_id += 1
+            delta = system.stats.since(before)
+            reads += delta.parallel_reads
+            writes += delta.parallel_writes
+            flush_ops += mres.schedule.flush_ops
+            blocks_flushed += mres.schedule.blocks_flushed
+            n_merges += 1
+            result.merge_schedules.append(mres.schedule)
+            result.heap_cycles += mres.heap_cycles
+            if mres.overlap is not None:
+                result.overlap_reports.append(mres.overlap)
+            out_runs.append(mres.output)
+        pass_span.set(
+            n_merges=n_merges,
+            n_runs_out=len(out_runs),
+            flush_ops=flush_ops,
+            blocks_flushed=blocks_flushed,
+        )
+        pass_span.close()
+        result.passes.append(
+            PassStats(
+                pass_index=pass_index,
+                n_merges=n_merges,
+                n_runs_in=len(runs),
+                n_runs_out=len(out_runs),
+                parallel_reads=reads,
+                parallel_writes=writes,
+                flush_ops=flush_ops,
+                blocks_flushed=blocks_flushed,
+            )
+        )
+        runs = out_runs
+    return runs[0]
+
+
 def srm_mergesort(
     system: ParallelDiskSystem,
     infile: StripedFile,
@@ -196,73 +291,20 @@ def srm_mergesort(
         runs_formed=len(runs),
     )
 
-    R = config.merge_order
-    next_run_id = len(runs)
-    pass_index = 0
-    while len(runs) > 1:
-        pass_index += 1
-        groups = [runs[i : i + R] for i in range(0, len(runs), R)]
-        out_runs: list[StripedRun] = []
-        starts = choose_start_disks(len(groups), system.n_disks, strategy, gen)
-        pass_span = tel.span(
-            SPAN_MERGE_PASS,
-            system=system,
-            pass_index=pass_index,
-            n_runs_in=len(runs),
-        )
-        reads = writes = flush_ops = blocks_flushed = n_merges = 0
-        for g, group in enumerate(groups):
-            if len(group) == 1:
-                # A leftover run passes through untouched (no I/O).
-                out_runs.append(group[0])
-                continue
-            before = system.stats.snapshot()
-            mres = merge_runs(
-                system,
-                group,
-                output_run_id=next_run_id,
-                output_start_disk=int(starts[g]),
-                validate=validate,
-                prefetch=prefetch,
-                overlap=overlap,
-                timing=timing,
-                merger=merger,
-                telemetry=telemetry,
-            )
-            next_run_id += 1
-            delta = system.stats.since(before)
-            reads += delta.parallel_reads
-            writes += delta.parallel_writes
-            flush_ops += mres.schedule.flush_ops
-            blocks_flushed += mres.schedule.blocks_flushed
-            n_merges += 1
-            result.merge_schedules.append(mres.schedule)
-            result.heap_cycles += mres.heap_cycles
-            if mres.overlap is not None:
-                result.overlap_reports.append(mres.overlap)
-            out_runs.append(mres.output)
-        pass_span.set(
-            n_merges=n_merges,
-            n_runs_out=len(out_runs),
-            flush_ops=flush_ops,
-            blocks_flushed=blocks_flushed,
-        )
-        pass_span.close()
-        result.passes.append(
-            PassStats(
-                pass_index=pass_index,
-                n_merges=n_merges,
-                n_runs_in=len(runs),
-                n_runs_out=len(out_runs),
-                parallel_reads=reads,
-                parallel_writes=writes,
-                flush_ops=flush_ops,
-                blocks_flushed=blocks_flushed,
-            )
-        )
-        runs = out_runs
-
-    result.output = runs[0]
+    result.output = run_merge_passes(
+        system,
+        runs,
+        config,
+        result,
+        strategy=strategy,
+        rng=gen,
+        validate=validate,
+        prefetch=prefetch,
+        overlap=overlap,
+        timing=timing,
+        merger=merger,
+        telemetry=telemetry,
+    )
     if system.faults is not None and system.faults.plan.torn_write_p > 0.0:
         # Final-pass blocks are never re-read through the fault-aware
         # path, so a tear in the output run would otherwise reach the
@@ -270,7 +312,7 @@ def srm_mergesort(
         # output seal and repairs stale ones from parity.
         from ..faults.degraded import scrub_addresses
 
-        scrub_addresses(system, runs[0].addresses)
+        scrub_addresses(system, result.output.addresses)
     result.io = system.stats.since(start_stats)
     result.system = system
     sort_span.set(

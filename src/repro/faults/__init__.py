@@ -27,7 +27,14 @@ Arm a system with :meth:`ParallelDiskSystem.attach_faults
 :func:`~repro.baselines.dsm.dsm_sort` via their ``faults`` argument.
 """
 
-from .chaos import ChaosReport, ChaosScenario, ScenarioResult, default_scenarios, run_chaos
+from .chaos import (
+    ChaosReport,
+    ChaosScenario,
+    ScenarioResult,
+    default_scenarios,
+    run_chaos,
+    run_cluster_chaos,
+)
 from .degraded import (
     DeathReport,
     ScrubReport,
@@ -54,6 +61,7 @@ __all__ = [
     "ScenarioResult",
     "default_scenarios",
     "run_chaos",
+    "run_cluster_chaos",
     "DeathReport",
     "ScrubReport",
     "migrate_dead_disk",

@@ -75,7 +75,10 @@ class ChaosScenario:
         ``"write_faults"`` (transient write failures must have fired),
         ``"torn"`` (torn writes injected and every one detected),
         ``"recovery_reads"`` (charged parity reconstruction reads > 0),
-        ``"double_death"`` (at least two disks died).
+        ``"double_death"`` (at least two disks died).  Cluster-sweep
+        results add ``"node_loss"`` (a node died and its rebuild charged
+        re-sent blocks and re-reads) and ``"skew"`` (partition skew must
+        stay under the recorded ``_skew_bound``).
     """
 
     name: str
@@ -200,6 +203,29 @@ class ChaosReport:
                     f"{tag}: plan kills two disks but "
                     f"{s.get('disk_deaths', 0)} died"
                 )
+            if "node_loss" in expect:
+                if s.get("node_losses", 0) < 1:
+                    msgs.append(
+                        f"{tag}: scenario kills a node but none was lost"
+                    )
+                elif (
+                    s.get("rebuild_blocks_resent", 0) <= 0
+                    or s.get("rebuild_read_ios", 0) <= 0
+                ):
+                    msgs.append(
+                        f"{tag}: node was rebuilt but the recovery charged "
+                        "no re-sent blocks or re-reads"
+                    )
+            if "skew" in expect:
+                skew = s.get("partition_skew")
+                bound = s.get("_skew_bound", 2.0)
+                if skew is None:
+                    msgs.append(f"{tag}: no partition skew was recorded")
+                elif skew > bound:
+                    msgs.append(
+                        f"{tag}: partition skew {skew:.3f} exceeds the "
+                        f"{bound:.1f} bound (bad splitters)"
+                    )
         return msgs
 
     def rows(self) -> list[dict]:
@@ -449,13 +475,16 @@ def run_chaos(
     seed: int = 1234,
     quick: bool = False,
     algorithms: tuple[str, ...] = ("srm", "dsm"),
+    cluster_nodes: int = 0,
 ) -> ChaosReport:
     """Run the chaos sweep and return the report.
 
     The same input array is sorted fault-free once per algorithm (the
     bit-identity reference and the I/O baseline), then once per
     applicable scenario.  Deterministic end to end: the input, the run
-    placements, and every fault draw derive from *seed*.
+    placements, and every fault draw derive from *seed*.  With
+    *cluster_nodes* > 1 the report also carries the
+    :func:`run_cluster_chaos` sweep on a cluster of that many nodes.
     """
     rng = np.random.default_rng(seed)
     keys = rng.integers(0, 2**40, size=n_records, dtype=np.int64)
@@ -547,7 +576,149 @@ def run_chaos(
                     error=f"{type(exc).__name__}: {exc}",
                 )
             report.results.append(result)
+    if cluster_nodes > 1:
+        report.results.extend(
+            run_cluster_chaos(
+                n_records=n_records,
+                n_nodes=cluster_nodes,
+                n_disks=n_disks,
+                k=k,
+                block_size=block_size,
+                seed=seed,
+            )
+        )
     return report
+
+
+def run_cluster_chaos(
+    n_records: int = 20_000,
+    n_nodes: int = 4,
+    n_disks: int = 4,
+    k: int = 2,
+    block_size: int = 16,
+    seed: int = 1234,
+    skew_bound: float = 2.0,
+) -> list[ScenarioResult]:
+    """The cluster resilience sweep: node loss and skewed partitions.
+
+    Two scenarios against a ``P = n_nodes`` cluster sort:
+
+    * ``node_loss`` — a node dies mid-exchange (after round 1); the sort
+      must still be bit-identical to the fault-free cluster reference,
+      and the rebuild must have charged re-sent blocks plus re-reads;
+    * ``skewed`` — Zipf(1.2) input; the output must be correct *and* the
+      sample-based splitters must hold partition skew (max/mean shard
+      size) under *skew_bound*.
+
+    Returns :class:`ScenarioResult` rows (algorithm ``"cluster"``) ready
+    to append to a :class:`ChaosReport`; both scenarios also validate
+    every shard's on-disk invariants via
+    :func:`repro.verify.check_cluster_shards`.
+    """
+    from ..cluster import ClusterConfig, NodeLoss, cluster_sort
+    from ..telemetry.schema import (
+        CLUSTER_NODE_LOSSES,
+        CLUSTER_REBUILD_BLOCKS,
+        CLUSTER_REBUILD_READ_IOS,
+    )
+    from ..verify import check_cluster_shards
+    from ..workloads import zipf_keys
+
+    cfg = SRMConfig.from_k(k=k, n_disks=n_disks, block_size=block_size)
+    cluster = ClusterConfig(n_nodes=n_nodes)
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**40, size=n_records, dtype=np.int64)
+    ref_out, ref_res = cluster_sort(keys, cluster, cfg, rng=seed + 17)
+
+    def run_one(
+        name: str,
+        description: str,
+        data: np.ndarray,
+        reference: np.ndarray,
+        ref_ios: int,
+        loss: "NodeLoss | None",
+        expect: frozenset,
+    ) -> ScenarioResult:
+        tel = Telemetry(harness="chaos", scenario=name, algorithm="cluster")
+        try:
+            out, res = cluster_sort(
+                data, cluster, cfg, rng=seed + 17,
+                telemetry=tel, node_loss=loss,
+            )
+            check_cluster_shards(res)
+            stats = {
+                "node_losses": res.exchange.node_losses,
+                "rebuild_blocks_resent": res.exchange.rebuild_blocks_resent,
+                "rebuild_read_ios": res.exchange.rebuild_read_ios,
+                "partition_skew": round(res.partition_skew, 4),
+                "exchange_rounds": res.exchange.rounds,
+                "blocks_crossed": res.exchange.blocks_crossed,
+                "_skew_bound": skew_bound,
+                "_expect": sorted(expect),
+            }
+            reg = tel.registry
+            metrics_ok = True
+            for key, metric in (
+                ("node_losses", CLUSTER_NODE_LOSSES),
+                ("rebuild_blocks_resent", CLUSTER_REBUILD_BLOCKS),
+                ("rebuild_read_ios", CLUSTER_REBUILD_READ_IOS),
+            ):
+                if stats[key] > 0 and (
+                    metric not in reg
+                    or reg.get(metric).snapshot()["value"] != stats[key]
+                ):
+                    metrics_ok = False
+            return ScenarioResult(
+                scenario=name,
+                algorithm="cluster",
+                description=description,
+                identical=bool(np.array_equal(out, reference)),
+                stats=stats,
+                parallel_ios=res.total_parallel_ios,
+                io_overhead_pct=100.0 * (res.total_parallel_ios / ref_ios - 1.0),
+                makespan_ms=res.makespan_ms,
+                metrics_ok=metrics_ok,
+            )
+        except Exception as exc:  # noqa: BLE001 - the report carries it
+            return ScenarioResult(
+                scenario=name,
+                algorithm="cluster",
+                description=description,
+                identical=False,
+                stats={},
+                parallel_ios=0,
+                io_overhead_pct=0.0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    victim = 1 % n_nodes
+    results = [
+        run_one(
+            "node_loss",
+            f"node {victim} dies after exchange round 1; rebuilt from "
+            "durable input, charged",
+            keys,
+            ref_out,
+            ref_res.total_parallel_ios,
+            NodeLoss(node=victim, after_round=min(1, n_nodes - 1)),
+            frozenset({"node_loss"}),
+        )
+    ]
+    zipf = zipf_keys(n_records, alpha=1.2, n_distinct=500, rng=seed + 23)
+    z_ref, z_res = cluster_sort(zipf, cluster, cfg, rng=seed + 17)
+    results.append(
+        run_one(
+            "skewed",
+            f"Zipf(1.2) duplicate-heavy input; splitters must keep "
+            f"partition skew under {skew_bound:.1f}",
+            zipf,
+            np.sort(zipf),
+            z_res.total_parallel_ios,
+            None,
+            frozenset({"skew"}),
+        )
+    )
+    return results
 
 
 def _armed(sc: ChaosScenario, n_disks: int, tel: Telemetry):

@@ -29,6 +29,10 @@ __all__ = [
     "SPAN_MERGE_PASS",
     "SPAN_MERGE",
     "SPAN_WRITE_BEHIND",
+    "SPAN_CLUSTER_SORT",
+    "SPAN_SPLITTER_SELECT",
+    "SPAN_EXCHANGE",
+    "SPAN_SHARD_MERGE",
     "IO_PARALLEL_READS",
     "IO_PARALLEL_WRITES",
     "IO_BLOCKS_READ",
@@ -61,9 +65,19 @@ __all__ = [
     "FAULT_TORN_DETECTED",
     "FAULT_RECOVERY_READ_IOS",
     "FAULT_PARITY_BLOCKS",
+    "CLUSTER_EXCHANGE_BLOCKS",
+    "CLUSTER_EXCHANGE_ROUNDS",
+    "CLUSTER_SELF_BLOCKS",
+    "CLUSTER_SAMPLE_READS",
+    "CLUSTER_LINK_MS",
+    "CLUSTER_PARTITION_SKEW",
+    "CLUSTER_NODE_LOSSES",
+    "CLUSTER_REBUILD_BLOCKS",
+    "CLUSTER_REBUILD_READ_IOS",
     "H_FAULT_BACKOFF",
     "EV_OVERLAP_DISKS",
     "EV_DISK_DEATH",
+    "EV_NODE_LOSS",
     "read_width_edges",
     "occupancy_edges",
     "run_length_edges",
@@ -83,6 +97,14 @@ SPAN_RUN_FORMATION = "run_formation"
 SPAN_MERGE_PASS = "merge_pass"
 SPAN_MERGE = "merge"
 SPAN_WRITE_BEHIND = "write_behind"
+
+# Cluster-layer phases (``repro cluster-sort``): the root scale-out
+# span, sample-based splitter selection, the all-to-all exchange, and
+# one per-node shard merge.
+SPAN_CLUSTER_SORT = "cluster_sort"
+SPAN_SPLITTER_SELECT = "splitter_select"
+SPAN_EXCHANGE = "exchange"
+SPAN_SHARD_MERGE = "shard_merge"
 
 # -- counters --------------------------------------------------------------
 
@@ -138,6 +160,30 @@ FAULT_RECOVERY_READ_IOS = "faults.recovery_read_ios"
 #: Rotating parity blocks written under ``redundancy="parity"``.
 FAULT_PARITY_BLOCKS = "faults.parity_blocks_written"
 
+# Cluster scale-out counters (``repro cluster-sort``).  All are zero on
+# a single-node run.
+
+#: Blocks that crossed a node-to-node link during the exchange.
+CLUSTER_EXCHANGE_BLOCKS = "cluster.exchange_blocks"
+#: All-to-all exchange rounds executed (``P - 1`` fault-free, plus any
+#: replayed while rebuilding a lost node).
+CLUSTER_EXCHANGE_ROUNDS = "cluster.exchange_rounds"
+#: Blocks whose owner was their source node (no link crossed).
+CLUSTER_SELF_BLOCKS = "cluster.self_blocks"
+#: Charged parallel reads spent drawing splitter samples from runs.
+CLUSTER_SAMPLE_READS = "cluster.sample_reads"
+#: Simulated link transfer time of the exchange critical path, in ms
+#: (per round, the slowest link; rounds sum).
+CLUSTER_LINK_MS = "cluster.link_ms"
+#: Splitter quality: max shard size / mean shard size (1.0 = perfect).
+CLUSTER_PARTITION_SKEW = "cluster.partition_skew"
+#: Nodes lost mid-exchange and rebuilt from source runs.
+CLUSTER_NODE_LOSSES = "cluster.node_losses"
+#: Blocks re-sent to a replacement node during rebuild.
+CLUSTER_REBUILD_BLOCKS = "cluster.rebuild_blocks_resent"
+#: Charged parallel reads spent re-reading source runs for a rebuild.
+CLUSTER_REBUILD_READ_IOS = "cluster.rebuild_read_ios"
+
 # -- histograms ------------------------------------------------------------
 
 #: Blocks moved per parallel read (Theorem 1's parallelism; <= D).
@@ -165,6 +211,9 @@ EV_OVERLAP_DISKS = "overlap_disks"
 #: A disk died (planned death or breaker escalation); attrs carry the
 #: disk id, trigger, and blocks recovered onto the survivors.
 EV_DISK_DEATH = "disk_death"
+#: A cluster node was lost mid-exchange; attrs carry the node id, the
+#: round it died after, and the rebuild charges.
+EV_NODE_LOSS = "node_loss"
 
 
 # -- bucket layouts --------------------------------------------------------

@@ -30,10 +30,19 @@ def duplicate_heavy(n: int, n_distinct: int, rng: RngLike = None) -> np.ndarray:
 
 
 def nearly_sorted(n: int, swap_fraction: float, rng: RngLike = None) -> np.ndarray:
-    """``0..n-1`` with ``swap_fraction·n`` random adjacent-ish swaps.
+    """``0..n-1`` with up to ``swap_fraction·n`` random adjacent swaps.
 
     Models logs and time-series data that arrive almost in order —
     replacement selection's best case.
+
+    The swap positions are drawn i.i.d., then de-duplicated and thinned
+    so no two kept swaps overlap: every kept swap contributes exactly
+    one inversion instead of possibly undoing an earlier one (the old
+    sequential pass let duplicate draws cancel, so the realized disorder
+    silently undershot ``swap_fraction``).  The kept count — and hence
+    the inversion count — is therefore at most ``swap_fraction·n``,
+    approaching it for small fractions.  Output is deterministic for a
+    fixed seed, and the swaps apply as one vectorized pass.
     """
     if not 0.0 <= swap_fraction <= 1.0:
         raise ConfigError(f"swap_fraction must be in [0, 1], got {swap_fraction}")
@@ -41,9 +50,13 @@ def nearly_sorted(n: int, swap_fraction: float, rng: RngLike = None) -> np.ndarr
     keys = np.arange(n, dtype=np.int64)
     n_swaps = int(n * swap_fraction)
     if n >= 2 and n_swaps:
-        idx = gen.integers(0, n - 1, size=n_swaps)
-        for i in idx:
-            keys[i], keys[i + 1] = keys[i + 1], keys[i]
+        idx = np.unique(gen.integers(0, n - 1, size=n_swaps))
+        # Thin overlapping neighbours: swapping (i, i+1) and (i+1, i+2)
+        # in one vectorized assignment would race on element i+1.
+        keep = np.ones(idx.size, dtype=bool)
+        keep[1:] = np.diff(idx) > 1
+        idx = idx[keep]
+        keys[idx], keys[idx + 1] = keys[idx + 1], keys[idx]
     return keys
 
 
@@ -73,14 +86,25 @@ def zipf_keys(n: int, alpha: float = 1.5, n_distinct: int = 10_000,
     Models real sort columns (URLs, user ids): a few keys repeat
     enormously.  Stresses the merger's duplicate handling and the
     writer's partial-consumption path.
+
+    Keys lie in ``1..n_distinct`` and their expected frequencies are
+    monotone decreasing in the key — the true Zipf law truncated to the
+    support.  Out-of-range draws are redrawn (rejection sampling)
+    rather than clamped: clamping ``np.minimum(raw, n_distinct)`` piled
+    the entire tail mass onto key ``n_distinct``, turning the nominally
+    rarest key into one of the most common and inverting the tail.
     """
     if alpha <= 1.0:
         raise ConfigError(f"zipf alpha must be > 1, got {alpha}")
     if n_distinct < 1:
         raise ConfigError(f"need at least one distinct key, got {n_distinct}")
     gen = ensure_rng(rng)
-    raw = gen.zipf(alpha, size=n)
-    return np.minimum(raw, n_distinct).astype(np.int64)
+    raw = gen.zipf(alpha, size=n).astype(np.int64)
+    bad = raw > n_distinct
+    while bad.any():
+        raw[bad] = gen.zipf(alpha, size=int(bad.sum())).astype(np.int64)
+        bad = raw > n_distinct
+    return raw
 
 
 def block_sorted(n: int, chunk: int, rng: RngLike = None) -> np.ndarray:
@@ -107,9 +131,24 @@ def geometric_length_runs(
     Real merge inputs (e.g. from replacement selection on skewed data)
     are far from equal-length; this exercises chain-length diversity in
     the dependent occupancy view.
+
+    Lengths are ``max(min_length, Geometric(1/mean_length))``, so the
+    *realized* mean sits above ``mean_length`` whenever the clamp can
+    bind — noticeably so for small means (at ``mean_length = 2`` about
+    half the raw draws equal 1).  ``mean_length`` is the mean of the
+    raw geometric draw, not a promise about the clamped lengths.  A
+    ``min_length`` exceeding ``mean_length`` would make the clamp
+    dominate the draw entirely and is rejected.
     """
     if n_runs < 1 or mean_length < 1:
         raise ConfigError("need at least one run of at least one record")
+    if min_length < 1:
+        raise ConfigError(f"min_length must be >= 1, got {min_length}")
+    if min_length > mean_length:
+        raise ConfigError(
+            f"min_length {min_length} > mean_length {mean_length}: the "
+            "clamp would dominate the geometric draw"
+        )
     gen = ensure_rng(rng)
     lengths = np.maximum(
         min_length, gen.geometric(1.0 / mean_length, size=n_runs)

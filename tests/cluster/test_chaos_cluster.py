@@ -1,0 +1,76 @@
+"""Cluster scenarios in the chaos harness, and their CLI surface."""
+
+import numpy as np
+
+from repro.faults import ChaosReport, run_chaos, run_cluster_chaos
+
+
+def test_cluster_sweep_passes():
+    results = run_cluster_chaos(
+        n_records=8_000, n_nodes=4, n_disks=4, k=2, block_size=16, seed=7
+    )
+    names = {r.scenario for r in results}
+    assert names == {"node_loss", "skewed"}
+    for r in results:
+        assert r.ok, (r.scenario, r.error, r.stats)
+        assert r.algorithm == "cluster"
+
+
+def test_node_loss_scenario_is_charged_and_identical():
+    (loss,) = [
+        r
+        for r in run_cluster_chaos(n_records=8_000, seed=11)
+        if r.scenario == "node_loss"
+    ]
+    assert loss.identical
+    assert loss.stats["node_losses"] == 1
+    assert loss.stats["rebuild_blocks_resent"] > 0
+    assert loss.stats["rebuild_read_ios"] > 0
+    assert loss.io_overhead_pct > 0  # recovery is never free
+
+
+def test_skew_scenario_bounds_partition_quality():
+    (skew,) = [
+        r
+        for r in run_cluster_chaos(n_records=8_000, seed=11)
+        if r.scenario == "skewed"
+    ]
+    assert skew.identical
+    assert 1.0 <= skew.stats["partition_skew"] <= skew.stats["_skew_bound"]
+
+
+def test_failures_flag_violations():
+    report = ChaosReport(
+        n_records=0, n_disks=4, block_size=16, merge_order=8, seed=0
+    )
+    results = run_cluster_chaos(n_records=8_000, seed=13)
+    for r in results:
+        r.stats = dict(r.stats)
+    # Sabotage the recorded stats; failures() must call each one out.
+    results[0].stats["node_losses"] = 0
+    results[1].stats["partition_skew"] = 3.5
+    report.results.extend(results)
+    msgs = "\n".join(report.failures())
+    assert "none was lost" in msgs
+    assert "exceeds" in msgs
+
+
+def test_run_chaos_integrates_cluster_sweep():
+    report = run_chaos(
+        n_records=6_000, quick=True, algorithms=("srm",), cluster_nodes=2
+    )
+    cluster_rows = [r for r in report.results if r.algorithm == "cluster"]
+    assert {r.scenario for r in cluster_rows} == {"node_loss", "skewed"}
+    assert report.passed, report.failures()
+    # Rows serialize like every other scenario (JSONL contract).
+    for r in cluster_rows:
+        row = r.row()
+        assert row["type"] == "scenario"
+        assert row["makespan_ms"] is not None
+
+
+def test_run_chaos_without_cluster_has_no_cluster_rows():
+    report = run_chaos(
+        n_records=6_000, quick=True, algorithms=("srm",), cluster_nodes=0
+    )
+    assert not [r for r in report.results if r.algorithm == "cluster"]

@@ -1,0 +1,91 @@
+"""Splitter selection and partition-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import partition_skew, sample_node_keys, select_splitters
+from repro.core.config import SRMConfig
+from repro.core.layout import LayoutStrategy
+from repro.core.run_formation import form_runs_load_sort
+from repro.disks.files import StripedFile
+from repro.disks.system import ParallelDiskSystem
+from repro.errors import ConfigError
+
+
+def _node_with_runs(n=4000, seed=0):
+    cfg = SRMConfig.from_k(2, 4, 16)
+    system = ParallelDiskSystem(4, 16)
+    keys = np.random.default_rng(seed).permutation(n).astype(np.int64)
+    infile = StripedFile.from_records(system, keys)
+    runs = form_runs_load_sort(
+        system, infile, cfg.memory_records, LayoutStrategy.RANDOMIZED,
+        np.random.default_rng(seed + 1),
+    )
+    return system, runs, keys
+
+
+class TestSampleNodeKeys:
+    def test_samples_come_from_node_records(self):
+        system, runs, keys = _node_with_runs()
+        s, n_ops = sample_node_keys(
+            system, runs, 64, np.random.default_rng(7)
+        )
+        assert s.size == 64
+        assert np.isin(s, keys).all()
+        assert n_ops > 0  # sampling is charged
+
+    def test_charged_reads_show_in_io_stats(self):
+        system, runs, _ = _node_with_runs()
+        before = system.stats.parallel_reads
+        _, n_ops = sample_node_keys(system, runs, 32, np.random.default_rng(1))
+        assert system.stats.parallel_reads - before == n_ops
+
+    def test_deterministic_under_seed(self):
+        system, runs, _ = _node_with_runs()
+        a, _ = sample_node_keys(system, runs, 48, np.random.default_rng(3))
+        b, _ = sample_node_keys(system, runs, 48, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_no_runs_yields_empty(self):
+        system = ParallelDiskSystem(4, 16)
+        s, n_ops = sample_node_keys(system, [], 16, np.random.default_rng(0))
+        assert s.size == 0 and n_ops == 0
+
+
+class TestSelectSplitters:
+    def test_counts_and_order(self):
+        samples = [np.arange(i, 100 + i, dtype=np.int64) for i in range(4)]
+        sp = select_splitters(samples, 4)
+        assert sp.size == 3
+        assert np.all(sp[:-1] <= sp[1:])
+
+    def test_single_node_needs_no_splitters(self):
+        assert select_splitters([np.arange(10)], 1).size == 0
+
+    def test_quantiles_of_uniform_sample_are_balanced(self):
+        rng = np.random.default_rng(11)
+        samples = [rng.integers(0, 1 << 30, size=256) for _ in range(4)]
+        sp = select_splitters(samples, 4)
+        # Quantile splitters of a uniform sample sit near the 1/4 marks.
+        for j, s in enumerate(sp, start=1):
+            assert abs(s / (1 << 30) - j / 4) < 0.1
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ConfigError):
+            select_splitters([np.array([1], dtype=np.int64)], 4)
+
+    def test_zero_nodes_raises(self):
+        with pytest.raises(ConfigError):
+            select_splitters([], 0)
+
+
+class TestPartitionSkew:
+    def test_perfect_balance_is_one(self):
+        assert partition_skew([100, 100, 100, 100]) == 1.0
+
+    def test_worst_case_approaches_p(self):
+        assert partition_skew([400, 0, 0, 0]) == 4.0
+
+    def test_empty_and_zero(self):
+        assert partition_skew([]) == 1.0
+        assert partition_skew([0, 0]) == 1.0

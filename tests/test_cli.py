@@ -69,3 +69,46 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "lower" in out and "upper" in out
+
+
+class TestClusterSort:
+    def test_parses(self):
+        args = build_parser().parse_args(
+            ["cluster-sort", "--n", "100", "--nodes", "2", "--lose-node", "1"]
+        )
+        assert callable(args.func)
+        assert args.lose_node == 1
+
+    def test_basic(self, capsys):
+        rc = main(["cluster-sort", "--n", "4000", "--nodes", "2", "--disks", "2",
+                   "--block", "8", "--k", "2", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "correct: True" in out
+        assert "cluster check passed" in out
+
+    def test_node_loss_with_check(self, capsys):
+        rc = main(["cluster-sort", "--n", "6000", "--nodes", "4", "--disks", "2",
+                   "--block", "8", "--k", "2", "--lose-node", "1", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "node losses: 1" in out
+        assert "cluster check passed" in out
+
+    def test_zipf_workload(self, capsys):
+        rc = main(["cluster-sort", "--n", "4000", "--nodes", "2", "--disks", "2",
+                   "--block", "8", "--k", "2", "--workload", "zipf", "--check"])
+        assert rc == 0
+        assert "cluster check passed" in capsys.readouterr().out
+
+    def test_telemetry_trace(self, tmp_path, capsys):
+        trace = tmp_path / "cluster.jsonl"
+        rc = main(["cluster-sort", "--n", "4000", "--nodes", "2", "--disks", "2",
+                   "--block", "8", "--k", "2", "--telemetry", str(trace)])
+        assert rc == 0
+        assert trace.exists()
+        import json
+
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        spans = {e["name"] for e in events if e.get("type") == "span"}
+        assert "exchange" in spans and "cluster_sort" in spans

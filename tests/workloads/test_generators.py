@@ -45,6 +45,21 @@ class TestBasicGenerators:
     def test_nearly_sorted_zero_swaps(self):
         assert np.array_equal(nearly_sorted(50, 0.0), np.arange(50))
 
+    def test_nearly_sorted_swaps_never_cancel(self):
+        # Every kept swap contributes exactly one inversion: duplicate
+        # and overlapping index draws are thinned, never applied twice
+        # (the old sequential pass let a duplicate undo its first swap).
+        for seed in range(5):
+            keys = nearly_sorted(2000, 0.2, rng=seed)
+            inversions = int((keys[:-1] > keys[1:]).sum())
+            n_displaced = int((keys != np.arange(2000)).sum())
+            assert inversions * 2 == n_displaced  # each swap displaces 2
+
+    def test_nearly_sorted_deterministic(self):
+        a = nearly_sorted(500, 0.1, rng=42)
+        b = nearly_sorted(500, 0.1, rng=42)
+        assert np.array_equal(a, b)
+
     def test_nearly_sorted_validation(self):
         with pytest.raises(ConfigError):
             nearly_sorted(10, 1.5)
@@ -92,6 +107,31 @@ class TestDomainShapes:
         keys = zipf_keys(5000, alpha=1.2, n_distinct=50, rng=1)
         assert keys.max() <= 50
         assert keys.min() >= 1
+
+    def test_zipf_tail_not_modal(self):
+        # Regression: clamping with np.minimum concentrated all
+        # out-of-range mass on key n_distinct, making the nominally
+        # rarest key a modal value (7.6% of draws in one measured
+        # case).  Rejection sampling keeps frequencies monotone.
+        from repro.workloads import zipf_keys
+
+        keys = zipf_keys(100_000, alpha=1.2, n_distinct=50, rng=1)
+        counts = np.bincount(keys, minlength=51)
+        assert counts.argmax() == 1
+        # The last key must be far rarer than the head, and never a
+        # top-10 value.
+        top10 = np.argsort(counts)[::-1][:10]
+        assert 50 not in top10
+        assert counts[50] < counts[1] / 20
+
+    def test_zipf_head_monotone(self):
+        from repro.workloads import zipf_keys
+
+        keys = zipf_keys(200_000, alpha=1.5, n_distinct=1000, rng=3)
+        counts = np.bincount(keys, minlength=1001)
+        # Expected frequencies decay like k^-1.5; with 200k draws the
+        # first few ranks are far apart and must order correctly.
+        assert counts[1] > counts[2] > counts[3]
 
     def test_zipf_validation(self):
         from repro.workloads import zipf_keys
@@ -154,6 +194,17 @@ class TestDomainShapes:
 
         with pytest.raises(ConfigError):
             geometric_length_runs(0, 10)
+
+    def test_geometric_min_length_cannot_dominate(self):
+        from repro.workloads import geometric_length_runs
+
+        with pytest.raises(ConfigError):
+            geometric_length_runs(5, 3, min_length=10)
+        with pytest.raises(ConfigError):
+            geometric_length_runs(5, 3, min_length=0)
+        # Equality is the boundary: still legal.
+        runs = geometric_length_runs(5, 3, min_length=3, rng=0)
+        assert all(len(r) >= 3 for r in runs)
 
 
 class TestPartitions:

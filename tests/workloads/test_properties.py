@@ -1,0 +1,124 @@
+"""Property tests shared by every workload generator.
+
+Each generator must uphold the same contract the sorting pipeline
+assumes everywhere: ``int64`` keys, values inside the documented
+bounds, bit-identical output for a fixed seed, multiset preservation
+for permutation-based shapes, and sortedness for run generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    block_sorted,
+    duplicate_heavy,
+    geometric_length_runs,
+    interleaved_runs,
+    nearly_sorted,
+    random_partition_runs,
+    reverse_sorted,
+    sequential_runs,
+    uniform_keys,
+    uniform_permutation,
+    zipf_keys,
+)
+
+# (name, factory) pairs producing one flat key array from a seed.
+ARRAY_GENERATORS = [
+    ("uniform_permutation", lambda rng: uniform_permutation(500, rng=rng)),
+    ("uniform_keys", lambda rng: uniform_keys(500, -100, 100, rng=rng)),
+    ("duplicate_heavy", lambda rng: duplicate_heavy(500, 7, rng=rng)),
+    ("nearly_sorted", lambda rng: nearly_sorted(500, 0.1, rng=rng)),
+    ("reverse_sorted", lambda rng: reverse_sorted(500)),
+    ("zipf_keys", lambda rng: zipf_keys(500, alpha=1.5, n_distinct=100, rng=rng)),
+    ("block_sorted", lambda rng: block_sorted(500, chunk=32, rng=rng)),
+]
+
+# (name, factory) pairs producing a list of sorted runs from a seed.
+RUN_GENERATORS = [
+    ("interleaved_runs", lambda rng: interleaved_runs(4, 25)),
+    ("sequential_runs", lambda rng: sequential_runs(4, 25)),
+    (
+        "geometric_length_runs",
+        lambda rng: geometric_length_runs(8, mean_length=20, rng=rng),
+    ),
+    (
+        "random_partition_runs",
+        lambda rng: random_partition_runs(5, 20, rng=rng),
+    ),
+]
+
+# Generators whose output is a permutation of a known contiguous range.
+PERMUTATION_GENERATORS = [
+    ("uniform_permutation", lambda rng: uniform_permutation(500, rng=rng), 500),
+    ("nearly_sorted", lambda rng: nearly_sorted(500, 0.1, rng=rng), 500),
+    ("reverse_sorted", lambda rng: reverse_sorted(500), 500),
+    ("block_sorted", lambda rng: block_sorted(500, chunk=32, rng=rng), 500),
+]
+
+
+@pytest.mark.parametrize("name,gen", ARRAY_GENERATORS, ids=[n for n, _ in ARRAY_GENERATORS])
+class TestArrayGeneratorProperties:
+    def test_int64_dtype(self, name, gen):
+        assert gen(0).dtype == np.int64
+
+    def test_seed_determinism(self, name, gen):
+        assert np.array_equal(gen(123), gen(123))
+
+    def test_size(self, name, gen):
+        assert gen(0).shape == (500,)
+
+
+@pytest.mark.parametrize("name,gen", RUN_GENERATORS, ids=[n for n, _ in RUN_GENERATORS])
+class TestRunGeneratorProperties:
+    def test_runs_are_sorted(self, name, gen):
+        for run in gen(0):
+            assert np.all(run[:-1] <= run[1:])
+
+    def test_int64_dtype(self, name, gen):
+        assert all(r.dtype == np.int64 for r in gen(0))
+
+    def test_seed_determinism(self, name, gen):
+        a, b = gen(7), gen(7)
+        assert len(a) == len(b)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_runs_cover_contiguous_range(self, name, gen):
+        runs = gen(1)
+        allk = np.sort(np.concatenate(runs))
+        assert np.array_equal(allk, np.arange(allk.size))
+
+
+@pytest.mark.parametrize(
+    "name,gen,n", PERMUTATION_GENERATORS, ids=[n for n, _, _ in PERMUTATION_GENERATORS]
+)
+def test_permutation_multiset_preserved(name, gen, n):
+    keys = gen(5)
+    assert np.array_equal(np.sort(keys), np.arange(n))
+
+
+class TestValueBounds:
+    def test_uniform_keys_bounds(self):
+        for seed in range(3):
+            keys = uniform_keys(2000, -50, 50, rng=seed)
+            assert keys.min() >= -50 and keys.max() < 50
+
+    def test_duplicate_heavy_bounds(self):
+        keys = duplicate_heavy(2000, 5, rng=0)
+        assert keys.min() >= 0 and keys.max() < 5
+
+    def test_zipf_bounds(self):
+        for seed in range(3):
+            keys = zipf_keys(2000, alpha=1.2, n_distinct=30, rng=seed)
+            assert keys.min() >= 1 and keys.max() <= 30
+
+    def test_zipf_tiny_support(self):
+        # Rejection sampling must terminate even on a one-key support.
+        keys = zipf_keys(200, alpha=1.5, n_distinct=1, rng=0)
+        assert np.all(keys == 1)
+
+    def test_geometric_lengths_at_least_min(self):
+        runs = geometric_length_runs(20, mean_length=5, rng=0, min_length=2)
+        assert all(len(r) >= 2 for r in runs)
