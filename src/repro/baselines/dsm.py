@@ -484,16 +484,20 @@ def dsm_sort(
     payloads: np.ndarray | None = None,
     telemetry=None,
     faults=None,
+    backend=None,
 ) -> tuple[np.ndarray, DSMSortResult]:
     """Convenience: DSM-sort a key array on a fresh simulated system.
 
     *faults* — a :class:`~repro.faults.plan.FaultPlan` — arms
     deterministic fault injection before any block is placed.
+    *backend* selects the block-storage backend of the fresh system
+    (see :mod:`repro.disks.backends`), so the DSM baseline can run
+    out-of-core side by side with SRM.
     """
     keys = np.asarray(keys, dtype=np.int64)
     if keys.size == 0:
         return keys.copy(), None  # type: ignore[return-value]
-    system = ParallelDiskSystem(config.n_disks, config.block_size)
+    system = ParallelDiskSystem(config.n_disks, config.block_size, backend=backend)
     if faults is not None:
         system.attach_faults(faults, telemetry=telemetry)
     infile = StripedFile.from_records(system, keys, payloads=payloads)

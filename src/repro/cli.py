@@ -105,6 +105,18 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 def _cmd_sort(args: argparse.Namespace) -> int:
     keys = uniform_permutation(args.n, rng=args.seed)
+    backend = args.backend
+    if args.workdir is not None:
+        if backend != "mmap":
+            print("error: --workdir requires --backend mmap", file=sys.stderr)
+            return 2
+        backend = f"mmap:{args.workdir}"
+    if args.workers > 1 and args.backend != "mmap":
+        print("error: --workers > 1 requires --backend mmap "
+              "(worker processes share the backend's disk files)",
+              file=sys.stderr)
+        return 2
+    merge_workers = args.workers if args.workers > 1 else None
     overlap = None
     if args.overlap is not None:
         overlap = OverlapConfig(
@@ -126,12 +138,13 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         cfg = DSMConfig.matching_srm(
             SRMConfig.from_k(args.k, args.disks, args.block)
         )
-        out, res = dsm_sort(keys, cfg, telemetry=telemetry)
+        out, res = dsm_sort(keys, cfg, telemetry=telemetry, backend=backend)
         name = "DSM"
     else:
         cfg = SRMConfig.from_k(args.k, args.disks, args.block)
         out, res = srm_sort(
-            keys, cfg, rng=args.seed, overlap=overlap, telemetry=telemetry
+            keys, cfg, rng=args.seed, overlap=overlap, telemetry=telemetry,
+            backend=backend, merge_workers=merge_workers,
         )
         name = "SRM"
     dt = time.perf_counter() - t0
@@ -147,6 +160,13 @@ def _cmd_sort(args: argparse.Namespace) -> int:
           f"(reads {res.io.parallel_reads}, writes {res.io.parallel_writes})")
     print(f"  read efficiency: {res.io.read_efficiency:.3f}, "
           f"write efficiency: {res.io.write_efficiency:.3f}")
+    if backend is not None and backend != "memory":
+        bs = res.system.backend.stats()
+        print(f"  backend: {bs['kind']} at {bs.get('workdir')} — "
+              f"{bs.get('file_bytes', 0) / 1e6:.1f} MB of slot files, "
+              f"{bs.get('blocks_written', 0)} blocks written, "
+              f"{bs.get('blocks_read', 0)} read"
+              + (f", merge workers: {args.workers}" if merge_workers else ""))
     if overlap is not None and not args.dsm and res.overlap_reports:
         stall = sum(r.cpu_stall_ms for r in res.overlap_reports)
         eager = sum(r.eager_reads for r in res.overlap_reports)
@@ -184,9 +204,16 @@ def _cmd_cluster_sort(args: argparse.Namespace) -> int:
             block_size=args.block,
             seed=args.seed,
         )
+    backend = args.backend
+    if args.workdir is not None:
+        if backend != "mmap":
+            print("error: --workdir requires --backend mmap", file=sys.stderr)
+            return 2
+        backend = f"mmap:{args.workdir}"
     t0 = time.perf_counter()
     out, res = cluster_sort(
-        keys, cluster, cfg, rng=args.seed, telemetry=telemetry, node_loss=loss
+        keys, cluster, cfg, rng=args.seed, telemetry=telemetry, node_loss=loss,
+        backend=backend,
     )
     dt = time.perf_counter() - t0
     if telemetry is not None:
@@ -406,6 +433,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--cpu-us", type=float, default=1.0,
                    help="merge CPU cost per record in microseconds "
                    "(with --overlap)")
+    s.add_argument("--backend", choices=["memory", "mmap"], default="memory",
+                   help="block storage backend: in-RAM dicts (default) or "
+                        "one mmap'd slot file per simulated disk "
+                        "(out-of-core; inputs may exceed RAM)")
+    s.add_argument("--workdir", metavar="DIR", default=None,
+                   help="directory for the mmap backend's disk files "
+                        "(default: self-cleaning temp dir; explicit dirs "
+                        "are kept)")
+    s.add_argument("--workers", type=int, default=1, metavar="W",
+                   help="process-parallel Merge Path drain width for SRM "
+                        "merges (>1 requires --backend mmap; default 1 = "
+                        "serial data plane)")
     s.add_argument("--telemetry", metavar="PATH", default=None,
                    help="capture a structured JSONL trace to PATH "
                    "(render it with 'repro inspect PATH')")
@@ -436,6 +475,11 @@ def build_parser() -> argparse.ArgumentParser:
     cs.add_argument("--check", action="store_true",
                     help="exit 1 unless shards pass on-disk + global-order "
                     "verification")
+    cs.add_argument("--backend", choices=["memory", "mmap"], default="memory",
+                   help="per-node block storage backend (mmap = out-of-core)")
+    cs.add_argument("--workdir", metavar="DIR", default=None,
+                   help="directory for mmap disk files; each node gets its "
+                        "own node<n>/ subdirectory")
     cs.add_argument("--telemetry", metavar="PATH", default=None,
                     help="capture a structured JSONL trace to PATH")
     cs.set_defaults(func=_cmd_cluster_sort)

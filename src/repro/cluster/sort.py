@@ -39,6 +39,7 @@ from ..core.config import SRMConfig
 from ..core.layout import LayoutStrategy
 from ..core.mergesort import SortResult, run_merge_passes
 from ..core.run_formation import form_runs_load_sort
+from ..disks.backends import StorageBackend, parse_backend
 from ..disks.counters import IOStats
 from ..disks.files import StripedFile, StripedRun
 from ..disks.system import ParallelDiskSystem
@@ -189,6 +190,7 @@ def cluster_sort(
     timing: DiskTimingModel | None = DISK_1996,
     telemetry=None,
     node_loss: Optional[NodeLoss] = None,
+    backend=None,
 ) -> tuple[np.ndarray, ClusterSortResult]:
     """Sort *keys* across ``P`` simulated nodes; returns (sorted, result).
 
@@ -196,10 +198,19 @@ def cluster_sort(
     bit-identical to a single-node sort of the same input.  *node_loss*
     kills a node mid-exchange; the sort still completes (and stays
     bit-identical) by rebuilding from the durable input, with every
-    recovery I/O charged.
+    recovery I/O charged.  *backend* is a storage-backend spec (string
+    or :class:`~repro.disks.backends.BackendSpec`) applied to every
+    node's disk array; with an explicit mmap workdir each node's files
+    land under its own ``node<n>/`` subdirectory.
     """
     keys = np.asarray(keys, dtype=np.int64)
     P = cluster.n_nodes
+    backend_spec = parse_backend(backend)
+    if isinstance(backend_spec, StorageBackend):
+        raise ConfigError(
+            "cluster_sort needs a backend spec (string or BackendSpec), "
+            "not a StorageBackend instance — each node gets its own backend"
+        )
     if keys.size == 0:
         raise ConfigError("cannot sort an empty file")
     if keys.size < P:
@@ -221,9 +232,17 @@ def cluster_sort(
         oversample=cluster.oversample,
     )
 
+    system_seq = iter(range(10**9))
+
     def fresh_system() -> ParallelDiskSystem:
+        # A unique child label per created system: rebuilt nodes get a
+        # fresh subdirectory instead of colliding with the lost array's.
+        label = f"node{next(system_seq)}"
         return ParallelDiskSystem(
-            config.n_disks, config.block_size, timing=timing
+            config.n_disks,
+            config.block_size,
+            timing=timing,
+            backend=backend_spec.child(label).create(),
         )
 
     # -- phase 1: per-node ingest + run formation -----------------------

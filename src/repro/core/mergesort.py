@@ -120,6 +120,7 @@ def run_merge_passes(
     merger: str = "auto",
     telemetry=None,
     next_run_id: int | None = None,
+    merge_workers: int | None = None,
 ) -> StripedRun:
     """Merge *runs* down to a single run with ``ceil(log_R)`` passes.
 
@@ -129,8 +130,23 @@ def run_merge_passes(
     (``PassStats``, schedules, heap cycles, overlap reports) accumulates
     into *result*; the final single run is returned.  A one-run input
     returns immediately with no I/O.
+
+    ``merge_workers`` > 1 routes every merge through the
+    process-parallel Merge Path plane
+    (:func:`~repro.core.parallel_merge.parallel_merge_runs`) instead of
+    the serial data plane — same ParRead/flush schedule, same output,
+    W-way multi-core drain.  Incompatible with *overlap*/*prefetch*
+    (those pace the serial plane's cycle loop).
     """
     gen = ensure_rng(rng)
+    parallel_workers = merge_workers if merge_workers and merge_workers > 1 else None
+    if parallel_workers is not None and (overlap is not None or prefetch):
+        raise ConfigError(
+            "merge_workers > 1 cannot be combined with the overlap engine "
+            "or eager prefetch — the parallel plane has no cycle loop to pace"
+        )
+    if parallel_workers is not None:
+        from .parallel_merge import parallel_merge_runs
     tel = telemetry if telemetry is not None else TELEMETRY_OFF
     R = config.merge_order
     if next_run_id is None:
@@ -154,18 +170,29 @@ def run_merge_passes(
                 out_runs.append(group[0])
                 continue
             before = system.stats.snapshot()
-            mres = merge_runs(
-                system,
-                group,
-                output_run_id=next_run_id,
-                output_start_disk=int(starts[g]),
-                validate=validate,
-                prefetch=prefetch,
-                overlap=overlap,
-                timing=timing,
-                merger=merger,
-                telemetry=telemetry,
-            )
+            if parallel_workers is not None:
+                mres = parallel_merge_runs(
+                    system,
+                    group,
+                    output_run_id=next_run_id,
+                    output_start_disk=int(starts[g]),
+                    workers=parallel_workers,
+                    validate=validate,
+                    telemetry=telemetry,
+                )
+            else:
+                mres = merge_runs(
+                    system,
+                    group,
+                    output_run_id=next_run_id,
+                    output_start_disk=int(starts[g]),
+                    validate=validate,
+                    prefetch=prefetch,
+                    overlap=overlap,
+                    timing=timing,
+                    merger=merger,
+                    telemetry=telemetry,
+                )
             next_run_id += 1
             delta = system.stats.since(before)
             reads += delta.parallel_reads
@@ -215,6 +242,7 @@ def srm_mergesort(
     timing: DiskTimingModel | None = None,
     merger: str = "auto",
     telemetry=None,
+    merge_workers: int | None = None,
 ) -> SortResult:
     """Sort *infile* on *system* with SRM; returns the sorted run + stats.
 
@@ -304,6 +332,7 @@ def srm_mergesort(
         timing=timing,
         merger=merger,
         telemetry=telemetry,
+        merge_workers=merge_workers,
     )
     if system.faults is not None and system.faults.plan.torn_write_p > 0.0:
         # Final-pass blocks are never re-read through the fault-aware
@@ -320,8 +349,42 @@ def srm_mergesort(
         n_merge_passes=result.n_merge_passes,
         heap_cycles=result.heap_cycles,
     )
+    _record_backend_stats(tel, sort_span, system)
     sort_span.close()
     return result
+
+
+def _record_backend_stats(tel, sort_span, system: ParallelDiskSystem) -> None:
+    """Publish storage-backend counters (``backend.*``) at sort end.
+
+    Counters accumulate across sorts sharing a registry (like every
+    other counter); the sort span additionally carries this system's
+    absolute numbers.  The in-memory backend reports no counters.
+    """
+    stats = system.backend.stats()
+    if stats.get("kind") == "memory":
+        return
+    from ..telemetry.schema import (
+        BACKEND_BLOCKS_READ,
+        BACKEND_BLOCKS_WRITTEN,
+        BACKEND_BYTES_READ,
+        BACKEND_BYTES_WRITTEN,
+        BACKEND_FILE_BYTES,
+        BACKEND_FILE_GROWS,
+    )
+
+    tel.counter(BACKEND_BLOCKS_WRITTEN).inc(stats.get("blocks_written", 0))
+    tel.counter(BACKEND_BLOCKS_READ).inc(stats.get("blocks_read", 0))
+    tel.counter(BACKEND_BYTES_WRITTEN).inc(stats.get("bytes_written", 0))
+    tel.counter(BACKEND_BYTES_READ).inc(stats.get("bytes_read", 0))
+    tel.counter(BACKEND_FILE_GROWS).inc(stats.get("file_grows", 0))
+    tel.gauge(BACKEND_FILE_BYTES).set(stats.get("file_bytes", 0))
+    sort_span.set(
+        backend=stats["kind"],
+        backend_file_bytes=stats.get("file_bytes", 0),
+        backend_blocks_written=stats.get("blocks_written", 0),
+        backend_blocks_read=stats.get("blocks_read", 0),
+    )
 
 
 def srm_sort(
@@ -338,6 +401,8 @@ def srm_sort(
     merger: str = "auto",
     telemetry=None,
     faults=None,
+    backend=None,
+    merge_workers: int | None = None,
 ) -> tuple[np.ndarray, SortResult]:
     """Convenience: sort a key array on a fresh simulated disk system.
 
@@ -347,11 +412,16 @@ def srm_sort(
     :meth:`SortResult.peek_sorted_records`.  *faults* — a
     :class:`~repro.faults.plan.FaultPlan` — arms deterministic fault
     injection on the fresh system before any block is placed.
+    *backend* selects the block-storage backend of the fresh system
+    (see :mod:`repro.disks.backends`); ``"mmap"`` keeps the data on
+    disk files so inputs can exceed RAM.  *merge_workers* > 1 drains
+    every merge through the process-parallel Merge Path plane
+    (:mod:`repro.core.parallel_merge`; requires the mmap backend).
     """
     keys = np.asarray(keys, dtype=np.int64)
     if keys.size == 0:
         return keys.copy(), None  # type: ignore[return-value]
-    system = ParallelDiskSystem(config.n_disks, config.block_size)
+    system = ParallelDiskSystem(config.n_disks, config.block_size, backend=backend)
     if faults is not None:
         system.attach_faults(faults, telemetry=telemetry)
     infile = StripedFile.from_records(system, keys, payloads=payloads)
@@ -368,5 +438,6 @@ def srm_sort(
         timing=timing,
         merger=merger,
         telemetry=telemetry,
+        merge_workers=merge_workers,
     )
     return result.peek_sorted(system), result

@@ -12,8 +12,19 @@ Public surface:
 * :class:`DiskTimingModel` and the :data:`DISK_1996` preset
 * :class:`DiskService`, :class:`ServiceNetwork` — per-disk FIFO queues
   for the overlapped-I/O engine
+* storage backends (:mod:`repro.disks.backends`): :class:`MemoryBackend`
+  (default), :class:`MmapFileBackend` (file-per-disk, out-of-core),
+  selected via ``ParallelDiskSystem(..., backend=...)``
 """
 
+from .backends import (
+    BackendSpec,
+    MemoryBackend,
+    MmapFileBackend,
+    StorageBackend,
+    make_backend,
+    parse_backend,
+)
 from .block import NO_KEY, Block, attach_forecasts, split_into_blocks
 from .counters import IOStats
 from .disk import Disk
@@ -37,6 +48,12 @@ from .system import BlockAddress, ParallelDiskSystem
 from .timing import DISK_1996, DISK_MODERN, DiskTimingModel
 
 __all__ = [
+    "BackendSpec",
+    "MemoryBackend",
+    "MmapFileBackend",
+    "StorageBackend",
+    "make_backend",
+    "parse_backend",
     "NO_KEY",
     "Block",
     "attach_forecasts",

@@ -1,0 +1,36 @@
+"""In-RAM block storage: the historical behavior and the default.
+
+Each disk's store is a plain dict, so reads hand back the very Block
+object that was written — zero overhead on the hot path, and exactly
+what every pre-backend version of this repo did implicitly.
+"""
+
+from __future__ import annotations
+
+from .base import BlockStore, StorageBackend
+
+
+class MemoryBackend(StorageBackend):
+    """Blocks live as Python objects in per-disk dicts."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stores: dict[int, dict] = {}
+
+    def store_for(self, disk_id: int) -> BlockStore:
+        store = self._stores.get(disk_id)
+        if store is None:
+            store = self._stores[disk_id] = {}
+        return store
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "live_blocks": sum(len(s) for s in self._stores.values()),
+        }
+
+    def close(self) -> None:
+        for store in self._stores.values():
+            store.clear()

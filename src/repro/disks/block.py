@@ -103,10 +103,16 @@ class Block:
     # -- integrity --------------------------------------------------------
 
     def compute_checksum(self) -> int:
-        """CRC-32 over the record bytes (keys, then payloads if any)."""
-        crc = zlib.crc32(self.keys.tobytes())
+        """CRC-32 over the record bytes (keys, then payloads if any).
+
+        ``zlib.crc32`` consumes the arrays through the buffer protocol
+        (``arr.data``) — no ``tobytes()`` copy per sealed block; only a
+        non-contiguous array (never produced by the pipeline, but legal
+        input) pays for a contiguous staging copy.
+        """
+        crc = zlib.crc32(_crc_buffer(self.keys))
         if self.payloads is not None:
-            crc = zlib.crc32(self.payloads.tobytes(), crc)
+            crc = zlib.crc32(_crc_buffer(self.payloads), crc)
         return crc
 
     def seal(self) -> "Block":
@@ -121,6 +127,13 @@ class Block:
         fault-free pipeline never pays for hashing.
         """
         return self.checksum is None or self.compute_checksum() == self.checksum
+
+
+def _crc_buffer(arr: np.ndarray):
+    """A zero-copy C-contiguous buffer over *arr* for ``zlib.crc32``."""
+    if arr.flags["C_CONTIGUOUS"]:
+        return arr.data
+    return np.ascontiguousarray(arr).data
 
 
 def xor_accumulate(acc: np.ndarray | None, arr: np.ndarray) -> np.ndarray:

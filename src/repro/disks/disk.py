@@ -4,6 +4,11 @@ Each disk exposes an allocate/write/read/free interface at block
 granularity.  Slots model physical block locations; a run's extent map
 (:mod:`repro.disks.striping`) records which slot on which disk holds
 each of its blocks, the way an inode maps file offsets to disk blocks.
+
+The disk owns *allocation* (free list, capacity); the *storage* of
+block contents is delegated to a per-disk store supplied by the
+system's :class:`~repro.disks.backends.StorageBackend` — a dict for the
+in-memory backend, a slot-record file for the mmap backend.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import DiskFullError, InvalidIOError
+from .backends.base import BlockStore
 from .block import Block
 
 
@@ -24,14 +30,23 @@ class Disk:
     capacity_blocks:
         Optional maximum number of simultaneously live blocks; ``None``
         means unbounded.  Freed slots are recycled.
+    store:
+        Block store mapping ``slot -> Block`` (see
+        :mod:`repro.disks.backends`).  ``None`` uses a plain dict — the
+        in-memory behavior.
     """
 
     __slots__ = ("disk_id", "capacity_blocks", "_slots", "_free", "_next_slot")
 
-    def __init__(self, disk_id: int, capacity_blocks: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        disk_id: int,
+        capacity_blocks: Optional[int] = None,
+        store: BlockStore | None = None,
+    ) -> None:
         self.disk_id = disk_id
         self.capacity_blocks = capacity_blocks
-        self._slots: dict[int, Block] = {}
+        self._slots: BlockStore = {} if store is None else store
         self._free: list[int] = []
         self._next_slot = 0
 

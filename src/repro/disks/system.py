@@ -15,6 +15,7 @@ from collections import deque
 from typing import Iterable, NamedTuple, Optional, Sequence
 
 from ..errors import ConfigError, DataError, DiskDeadError, InvalidIOError
+from .backends import StorageBackend, make_backend
 from .block import Block
 from .counters import IOStats
 from .disk import Disk
@@ -52,6 +53,13 @@ class ParallelDiskSystem:
         disks still seek concurrently, but only ``c`` blocks cross the
         channel at a time.  ``None`` (default) models ``D = D'``: the
         channel matches the disks, one round per operation.
+    backend:
+        Block-storage backend selection (see
+        :mod:`repro.disks.backends`): ``None``/``"memory"`` keeps blocks
+        in RAM, ``"mmap"`` / ``"mmap:/path"`` stores them in one
+        ``np.memmap``-ed file per disk so data sets can exceed RAM.
+        Also accepts a :class:`~repro.disks.backends.BackendSpec` or a
+        constructed (unattached) backend instance.
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class ParallelDiskSystem:
         capacity_blocks_per_disk: Optional[int] = None,
         timing: Optional[DiskTimingModel] = None,
         channel_width: Optional[int] = None,
+        backend=None,
     ) -> None:
         if n_disks < 1:
             raise ConfigError(f"need at least one disk, got D={n_disks}")
@@ -73,7 +82,13 @@ class ParallelDiskSystem:
         self.n_disks = n_disks
         self.block_size = block_size
         self.channel_width = channel_width
-        self.disks = [Disk(d, capacity_blocks_per_disk) for d in range(n_disks)]
+        #: Block-storage backend; disks hold stores it handed out.
+        self.backend: StorageBackend = make_backend(backend)
+        self.backend.attach(n_disks, block_size)
+        self.disks = [
+            Disk(d, capacity_blocks_per_disk, store=self.backend.store_for(d))
+            for d in range(n_disks)
+        ]
         self.stats = IOStats(n_disks=n_disks)
         self.timing = timing
         self.elapsed_ms = 0.0
@@ -284,6 +299,35 @@ class ParallelDiskSystem:
         if self.trace is not None:
             self.trace.record("read", [a.disk for a in live], self.elapsed_ms)
         return out
+
+    def charge_read_stripe(self, addresses: Sequence[BlockAddress]) -> None:
+        """Charge one parallel read without materializing the blocks.
+
+        Accounting-identical to :meth:`read_stripe` on a fault-free
+        system — same distinct-disk check, :class:`IOStats` update,
+        clock advance and trace record — but the stored blocks are never
+        decoded.  The ghost schedule drive of the parallel merge plane
+        uses this: worker processes read the bytes out-of-band, so the
+        parent only owes the accounting.  Refuses to run with faults
+        armed (every armed read must pass the retry/checksum ladder).
+        """
+        if self.faults is not None:
+            raise InvalidIOError(
+                "charge_read_stripe requires a fault-free system"
+            )
+        live = [a for a in addresses if a is not None]
+        if not live:
+            return
+        self._check_one_per_disk([a.disk for a in live])
+        for a in live:
+            if not self.disks[a.disk].has_block(a.slot):
+                raise InvalidIOError(
+                    f"disk {a.disk} slot {a.slot} holds no block"
+                )
+        self.stats.record_read([a.disk for a in live])
+        self._advance_clock(len(live))
+        if self.trace is not None:
+            self.trace.record("read", [a.disk for a in live], self.elapsed_ms)
 
     def write_stripe(
         self, writes: Sequence[tuple[BlockAddress, Block]]
@@ -602,6 +646,16 @@ class ParallelDiskSystem:
     def usage_per_disk(self) -> list[int]:
         """Live block count per disk."""
         return [d.used_blocks for d in self.disks]
+
+    def close(self) -> None:
+        """Release backend resources (scratch files for mmap storage)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ParallelDiskSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

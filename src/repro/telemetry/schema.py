@@ -33,6 +33,10 @@ __all__ = [
     "SPAN_SPLITTER_SELECT",
     "SPAN_EXCHANGE",
     "SPAN_SHARD_MERGE",
+    "SPAN_PMERGE",
+    "SPAN_PMERGE_PARTITION",
+    "SPAN_PMERGE_WORKERS",
+    "SPAN_PMERGE_STITCH",
     "IO_PARALLEL_READS",
     "IO_PARALLEL_WRITES",
     "IO_BLOCKS_READ",
@@ -74,6 +78,18 @@ __all__ = [
     "CLUSTER_NODE_LOSSES",
     "CLUSTER_REBUILD_BLOCKS",
     "CLUSTER_REBUILD_READ_IOS",
+    "BACKEND_BLOCKS_WRITTEN",
+    "BACKEND_BLOCKS_READ",
+    "BACKEND_BYTES_WRITTEN",
+    "BACKEND_BYTES_READ",
+    "BACKEND_FILE_GROWS",
+    "BACKEND_FILE_BYTES",
+    "PMERGE_MERGES",
+    "PMERGE_WORKERS",
+    "PMERGE_RANGES",
+    "PMERGE_RECORDS",
+    "PMERGE_PARTITION_PROBES",
+    "PMERGE_GHOST_ROUNDS",
     "H_FAULT_BACKOFF",
     "EV_OVERLAP_DISKS",
     "EV_DISK_DEATH",
@@ -105,6 +121,15 @@ SPAN_CLUSTER_SORT = "cluster_sort"
 SPAN_SPLITTER_SELECT = "splitter_select"
 SPAN_EXCHANGE = "exchange"
 SPAN_SHARD_MERGE = "shard_merge"
+
+# Process-parallel Merge Path plane (``repro.core.parallel_merge``):
+# the root span of one parallel merge, then its three stages — co-rank
+# partitioning, the worker-pool drain, and stitching scratch output
+# through the RunWriter.
+SPAN_PMERGE = "pmerge"
+SPAN_PMERGE_PARTITION = "pmerge_partition"
+SPAN_PMERGE_WORKERS = "pmerge_workers"
+SPAN_PMERGE_STITCH = "pmerge_stitch"
 
 # -- counters --------------------------------------------------------------
 
@@ -183,6 +208,41 @@ CLUSTER_NODE_LOSSES = "cluster.node_losses"
 CLUSTER_REBUILD_BLOCKS = "cluster.rebuild_blocks_resent"
 #: Charged parallel reads spent re-reading source runs for a rebuild.
 CLUSTER_REBUILD_READ_IOS = "cluster.rebuild_read_ios"
+
+# Storage-backend counters (``backend.*``).  Populated from
+# ``StorageBackend.stats()`` when a sort/merge finishes on a non-default
+# backend; all zero for the in-memory backend (which pays no encoding).
+
+#: Blocks encoded into backend storage (mmap slot records written).
+BACKEND_BLOCKS_WRITTEN = "backend.blocks_written"
+#: Blocks decoded out of backend storage (zero-copy view constructions).
+BACKEND_BLOCKS_READ = "backend.blocks_read"
+#: Record bytes written through the backend (keys + payloads).
+BACKEND_BYTES_WRITTEN = "backend.bytes_written"
+#: Record bytes read through the backend (keys + payloads).
+BACKEND_BYTES_READ = "backend.bytes_read"
+#: Disk-file growth events (ftruncate + remap; doubling policy).
+BACKEND_FILE_GROWS = "backend.file_grows"
+#: Total bytes reserved across all disk files (sparse on most FS).
+BACKEND_FILE_BYTES = "backend.file_bytes"
+
+# Process-parallel merge counters (``pmerge.*``).  All zero when merges
+# run on the serial data plane.
+
+#: Merges drained by the parallel Merge Path plane.
+PMERGE_MERGES = "pmerge.merges"
+#: Worker processes requested per parallel merge (W).
+PMERGE_WORKERS = "pmerge.workers"
+#: Disjoint output ranges actually dispatched (<= W; empty ranges skip).
+PMERGE_RANGES = "pmerge.ranges"
+#: Records merged by worker processes.
+PMERGE_RECORDS = "pmerge.records"
+#: Co-rank binary-search probes over the key domain (all uncharged
+#: metadata work; the §5.5 I/O schedule is untouched).
+PMERGE_PARTITION_PROBES = "pmerge.partition_probes"
+#: Ghost-schedule drive iterations replaying the serial ParRead/flush
+#: stream (one per drain round; ~= merge ParReads + 1).
+PMERGE_GHOST_ROUNDS = "pmerge.ghost_rounds"
 
 # -- histograms ------------------------------------------------------------
 
