@@ -43,13 +43,20 @@ class TimelineResult:
 
     @property
     def cpu_utilization(self) -> float:
-        """Fraction of the makespan the CPU spent merging."""
-        return self.cpu_busy_ms / self.makespan_ms if self.makespan_ms else 1.0
+        """Fraction of the makespan the CPU spent merging.
+
+        A zero-duration (empty-input) timeline has no makespan to be
+        busy during; report 0.0 instead of dividing by zero.
+        """
+        return self.cpu_busy_ms / self.makespan_ms if self.makespan_ms else 0.0
 
     @property
     def io_utilization(self) -> float:
-        """Fraction of the makespan the channel spent transferring."""
-        return self.io_busy_ms / self.makespan_ms if self.makespan_ms else 1.0
+        """Fraction of the makespan the channel spent transferring.
+
+        Zero-duration timelines report 0.0 (see ``cpu_utilization``).
+        """
+        return self.io_busy_ms / self.makespan_ms if self.makespan_ms else 0.0
 
 
 def simulate_merge_timeline(

@@ -485,6 +485,7 @@ def dsm_sort(
     telemetry=None,
     faults=None,
     backend=None,
+    timing: "DiskTimingModel | None" = None,
 ) -> tuple[np.ndarray, DSMSortResult]:
     """Convenience: DSM-sort a key array on a fresh simulated system.
 
@@ -492,7 +493,10 @@ def dsm_sort(
     deterministic fault injection before any block is placed.
     *backend* selects the block-storage backend of the fresh system
     (see :mod:`repro.disks.backends`), so the DSM baseline can run
-    out-of-core side by side with SRM.
+    out-of-core side by side with SRM.  *timing* attaches a disk
+    service-time model so the demand clock (and the causal trace, when
+    the telemetry handle carries one) advances; DSM stays demand-paced
+    either way.
     """
     keys = np.asarray(keys, dtype=np.int64)
     if keys.size == 0:
@@ -500,8 +504,22 @@ def dsm_sort(
     system = ParallelDiskSystem(config.n_disks, config.block_size, backend=backend)
     if faults is not None:
         system.attach_faults(faults, telemetry=telemetry)
+    collector = getattr(telemetry, "trace", None)
+    demand_tracer = None
+    if collector is not None:
+        from ..disks.timing import DISK_1996
+        from ..telemetry.trace import SystemTracer
+
+        if system.timing is None:
+            system.timing = timing if timing is not None else DISK_1996
+        demand_tracer = SystemTracer(collector, collector.new_domain("demand"))
+        system.tracer = demand_tracer
+    elif timing is not None and system.timing is None:
+        system.timing = timing
     infile = StripedFile.from_records(system, keys, payloads=payloads)
     result = dsm_mergesort(
         system, infile, config, run_length=run_length, telemetry=telemetry
     )
+    if demand_tracer is not None:
+        demand_tracer.finish(system.elapsed_ms)
     return result.peek_sorted(system), result

@@ -274,6 +274,76 @@ def bench_telemetry(n_records: int, k: int = 4, n_disks: int = 4,
     }
 
 
+def bench_tracing(n_records: int, k: int = 4, n_disks: int = 4,
+                  block_size: int = 64, seed: int = 2,
+                  repeats: int = 3) -> dict:
+    """What arming the causal trace ring costs, and what it proves.
+
+    Three best-of-N timings of the same overlap-engine sort: telemetry
+    off, telemetry on, telemetry + trace collector armed.  The armed
+    run's trace is then attributed — the critical-path total must equal
+    every merge domain's simulated makespan *exactly* (same float), so
+    the bench doubles as an end-to-end exactness assertion.
+    """
+    from .analysis.critical_path import analyze_collector
+    from .core.config import OverlapConfig
+
+    keys = uniform_permutation(n_records, rng=seed)
+    cfg = SRMConfig.from_k(k, n_disks, block_size)
+    overlap = OverlapConfig(mode="full", prefetch_depth=2)
+    wall_off = min(
+        _time(lambda: srm_sort(keys, cfg, rng=seed + 1, overlap=overlap))[0]
+        for _ in range(repeats)
+    )
+    wall_tel = float("inf")
+    for _ in range(repeats):
+        t = Telemetry(algo="srm")
+        wall_tel = min(
+            wall_tel,
+            _time(
+                lambda t=t: srm_sort(
+                    keys, cfg, rng=seed + 1, overlap=overlap, telemetry=t
+                )
+            )[0],
+        )
+    wall_trace = float("inf")
+    col = None
+    for _ in range(repeats):
+        t = Telemetry(algo="srm")
+        c = t.attach_trace()
+        wall, _out = _time(
+            lambda t=t: srm_sort(
+                keys, cfg, rng=seed + 1, overlap=overlap, telemetry=t
+            )
+        )
+        if wall < wall_trace:
+            wall_trace, col = wall, c
+    analyses = analyze_collector(col)
+    if not analyses:
+        raise DataError("tracing bench: armed run produced no trace domains")
+    for dom, a in analyses.items():
+        if not a.exact or a.total_ms != a.makespan_ms:
+            raise DataError(
+                f"tracing bench: domain {dom} critical path {a.total_ms!r} "
+                f"!= makespan {a.makespan_ms!r}"
+            )
+    return {
+        "wall_s_telemetry_off": round(wall_off, 6),
+        "wall_s_telemetry_on": round(wall_tel, 6),
+        "wall_s_trace_armed": round(wall_trace, 6),
+        "trace_overhead_frac": round(wall_trace / wall_tel - 1.0, 4),
+        "trace_overhead_vs_off_frac": round(wall_trace / wall_off - 1.0, 4),
+        "trace_records": col.emitted,
+        "trace_dropped": col.dropped,
+        "domains": len(analyses),
+        "critical_path_exact": True,  # asserted above, every domain
+        "params": {
+            "n_records": n_records, "k": k, "n_disks": n_disks,
+            "block_size": block_size, "seed": seed, "overlap": "full",
+        },
+    }
+
+
 def bench_faults(n_records: int, k: int = 4, n_disks: int = 4,
                  block_size: int = 64, seed: int = 2) -> dict:
     """Cost of the fault-injected data path vs. the untouched fast path.
@@ -547,6 +617,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         ),
         "writer": bench_writer(scale["writer_records"]),
         "telemetry": bench_telemetry(scale["merge_records"]),
+        "tracing": bench_tracing(scale["merge_records"]),
         "faults": bench_faults(scale["merge_records"]),
         "backend": bench_backend(scale["merge_records"]),
         "parallel_merge": bench_parallel_merge(scale["pmerge_records"]),
@@ -591,6 +662,10 @@ def main(argv: list[str] | None = None) -> int:
     t = report["telemetry"]
     print(f"telemetry     enable overhead {t['enable_overhead_frac']*100:+.1f}%"
           f"  ({t['n_metrics']} metrics, schema {t['schema']})")
+    tr = report["tracing"]
+    print(f"tracing       armed overhead {tr['trace_overhead_frac']*100:+.1f}%"
+          f"  ({tr['trace_records']:,} records, {tr['domains']} domains, "
+          f"critical path exact)")
     fl = report["faults"]
     print(f"faults        armed overhead {fl['armed_overhead_frac']*100:+.1f}%"
           f"  ({fl['retries']} retries, output identical)")

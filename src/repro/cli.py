@@ -9,8 +9,10 @@ Usage::
     python -m repro figure1
     python -m repro sort --n 100000 --disks 4 --block 64 --k 4 [--dsm]
     python -m repro sort --telemetry run.jsonl
+    python -m repro sort --trace run.jsonl [--overlap full]
     python -m repro cluster-sort --n 100000 --nodes 4 [--check] [--lose-node 1]
-    python -m repro inspect run.jsonl [--check]
+    python -m repro inspect run.jsonl [--check] [--attribution]
+    python -m repro trace run.jsonl [--out run.trace.json]
     python -m repro bench [--quick] [--out BENCH_sort_throughput.json]
     python -m repro chaos [--quick] [--check] [--out chaos.jsonl]
     python -m repro demo
@@ -125,7 +127,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             cpu_us_per_record=args.cpu_us,
         )
     telemetry = None
-    if args.telemetry is not None:
+    if args.telemetry is not None or args.trace is not None:
         telemetry = Telemetry(
             algo="dsm" if args.dsm else "srm",
             n_records=args.n,
@@ -133,6 +135,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             block_size=args.block,
             seed=args.seed,
         )
+        if args.trace is not None:
+            telemetry.attach_trace()
     t0 = time.perf_counter()
     if args.dsm:
         cfg = DSMConfig.matching_srm(
@@ -151,7 +155,8 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     if telemetry is not None:
         telemetry.set_meta(merge_order=cfg.merge_order)
         telemetry.finish()
-        telemetry.write_jsonl(args.telemetry)
+        for path in {args.telemetry, args.trace} - {None}:
+            telemetry.write_jsonl(path)
     ok = bool(np.array_equal(out, np.sort(keys)))
     print(f"{name}: sorted {args.n} records on D={args.disks}, B={args.block}, "
           f"R={cfg.merge_order} in {dt:.2f}s  (correct: {ok})")
@@ -167,6 +172,12 @@ def _cmd_sort(args: argparse.Namespace) -> int:
               f"{bs.get('blocks_written', 0)} blocks written, "
               f"{bs.get('blocks_read', 0)} read"
               + (f", merge workers: {args.workers}" if merge_workers else ""))
+    if args.trace is not None and telemetry is not None:
+        col = telemetry.trace
+        print(f"  trace: {col.emitted} records emitted "
+              f"({col.dropped} dropped) -> {args.trace}")
+        print(f"  render: repro trace {args.trace}   "
+              f"attribute: repro inspect {args.trace} --attribution")
     if overlap is not None and not args.dsm and res.overlap_reports:
         stall = sum(r.cpu_stall_ms for r in res.overlap_reports)
         eager = sum(r.eager_reads for r in res.overlap_reports)
@@ -195,7 +206,7 @@ def _cmd_cluster_sort(args: argparse.Namespace) -> int:
     if args.lose_node is not None:
         loss = NodeLoss(node=args.lose_node, after_round=args.lose_after_round)
     telemetry = None
-    if args.telemetry is not None:
+    if args.telemetry is not None or args.trace is not None:
         telemetry = Telemetry(
             algo="cluster",
             n_records=args.n,
@@ -204,6 +215,8 @@ def _cmd_cluster_sort(args: argparse.Namespace) -> int:
             block_size=args.block,
             seed=args.seed,
         )
+        if args.trace is not None:
+            telemetry.attach_trace()
     backend = args.backend
     if args.workdir is not None:
         if backend != "mmap":
@@ -219,7 +232,8 @@ def _cmd_cluster_sort(args: argparse.Namespace) -> int:
     if telemetry is not None:
         telemetry.set_meta(merge_order=cfg.merge_order)
         telemetry.finish()
-        telemetry.write_jsonl(args.telemetry)
+        for path in {args.telemetry, args.trace} - {None}:
+            telemetry.write_jsonl(path)
     ok = bool(np.array_equal(out, np.sort(keys)))
     ex = res.exchange
     print(f"cluster: sorted {args.n} records on P={args.nodes} nodes "
@@ -240,6 +254,10 @@ def _cmd_cluster_sort(args: argparse.Namespace) -> int:
         f"{k} {v:.0f}" for k, v in res.makespan_breakdown.items()
     )
     print(f"  makespan: {res.makespan_ms:.0f} ms ({phases})")
+    if args.trace is not None and telemetry is not None:
+        col = telemetry.trace
+        print(f"  trace: {col.emitted} records emitted "
+              f"({col.dropped} dropped) -> {args.trace}")
     if args.check:
         from .errors import DataError
 
@@ -256,9 +274,40 @@ def _cmd_cluster_sort(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import load_events
+    from .telemetry.trace import trace_events_from_stream, write_chrome_trace
+
+    events = load_events(args.input)
+    recs, sums = trace_events_from_stream(events)
+    if not recs and not sums:
+        print("error: no trace records in stream "
+              "(capture one with sort --trace)", file=sys.stderr)
+        return 1
+    out = args.out
+    if out is None:
+        stem = args.input[:-6] if args.input.endswith(".jsonl") else args.input
+        out = stem + ".trace.json"
+    doc = write_chrome_trace(out, events)
+    doms = doc["otherData"]["domains"]
+    print(f"wrote {out}: {len(recs)} trace records, {len(doms)} domains, "
+          f"{len(doc['traceEvents'])} Chrome trace events")
+    for dom, info in sorted(doms.items()):
+        tag = "exact" if info["exact"] else "inexact"
+        print(f"  {dom}: makespan {info['makespan_ms']:.3f} ms [{tag}]")
+    dropped = doc["otherData"].get("dropped", 0)
+    if dropped:
+        print(f"  WARNING: ring overflow dropped {dropped} records")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     report = RunReport.from_jsonl(args.trace)
     print(report.render())
+    if args.attribution:
+        print()
+        print(report.render_attribution())
     if args.check:
         failures = report.check()
         if failures:
@@ -448,6 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--telemetry", metavar="PATH", default=None,
                    help="capture a structured JSONL trace to PATH "
                    "(render it with 'repro inspect PATH')")
+    s.add_argument("--trace", metavar="PATH", default=None,
+                   help="arm causal event tracing and write the "
+                        "telemetry stream (with per-op trace records) "
+                        "to PATH; export Chrome/Perfetto JSON with "
+                        "'repro trace PATH', attribute the makespan "
+                        "with 'repro inspect PATH --attribution'")
     s.set_defaults(func=_cmd_sort)
 
     cs = sub.add_parser(
@@ -482,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "own node<n>/ subdirectory")
     cs.add_argument("--telemetry", metavar="PATH", default=None,
                     help="capture a structured JSONL trace to PATH")
+    cs.add_argument("--trace", metavar="PATH", default=None,
+                    help="arm causal event tracing and write the "
+                         "telemetry stream to PATH")
     cs.set_defaults(func=_cmd_cluster_sort)
 
     ins = sub.add_parser(
@@ -491,8 +549,24 @@ def build_parser() -> argparse.ArgumentParser:
     ins.add_argument("trace", help="JSONL file written by sort --telemetry")
     ins.add_argument("--check", action="store_true",
                      help="exit 1 unless paper-bound assertions hold "
-                     "(Theorem-1 read overhead, §5.4 flush occupancy)")
+                     "(Theorem-1 read overhead, §5.4 flush occupancy, "
+                     "critical path == makespan for exact trace domains)")
+    ins.add_argument("--attribution", action="store_true",
+                     help="decompose each traced domain's makespan along "
+                     "its critical path (read/write/compute/stall/link/"
+                     "recovery), with per-lane utilization and stragglers")
     ins.set_defaults(func=_cmd_inspect)
+
+    tr = sub.add_parser(
+        "trace",
+        help="export a captured trace as Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing)",
+    )
+    tr.add_argument("input", help="JSONL file written by sort --trace")
+    tr.add_argument("--out", metavar="PATH", default=None,
+                    help="output JSON path (default: INPUT with a "
+                    ".trace.json suffix)")
+    tr.set_defaults(func=_cmd_trace)
 
     r = sub.add_parser("records", help="stable key+payload record sort demo")
     r.add_argument("--n", type=int, default=50_000)

@@ -88,6 +88,10 @@ class ExchangeReport:
     link_ms: float = 0.0
     #: Per-round slowest-link time, ms (round 0 is always 0.0).
     round_ms: list[float] = field(default_factory=list)
+    #: Per-round link charges, parallel to ``round_ms``: one
+    #: ``{src, dst, run, blocks, records, ms}`` per message (empty for
+    #: round 0 self-deliveries; the rebuild entry lists re-sends).
+    round_links: list[list[dict]] = field(default_factory=list)
     node_losses: int = 0
     rebuild_blocks_resent: int = 0
     rebuild_read_ios: int = 0
@@ -173,13 +177,33 @@ def execute_exchange(
         for t in round_transfers:
             deliver(t, crossed=r != 0)
         slowest = 0.0
+        links: list[dict] = []
         if r != 0:
             for t in round_transfers:
                 B = nodes[t.dst].system.block_size
-                slowest = max(slowest, link.transfer_ms(t.n_blocks(B)))
+                ms = link.transfer_ms(t.n_blocks(B))
+                slowest = max(slowest, ms)
+                links.append(
+                    {
+                        "src": t.src, "dst": t.dst, "run": t.run_index,
+                        "blocks": t.n_blocks(B), "records": t.n_records,
+                        "ms": ms,
+                    }
+                )
         report.round_ms.append(slowest)
+        report.round_links.append(links)
         report.link_ms += slowest
         report.rounds += 1
+        if telemetry is not None:
+            from ..telemetry.schema import EV_EXCHANGE_ROUND
+
+            telemetry.event(
+                EV_EXCHANGE_ROUND,
+                round=r,
+                round_ms=slowest,
+                messages=len(round_transfers),
+                links=links,
+            )
 
         if lost is not None and node_loss.after_round == r:
             _rebuild_lost_node(

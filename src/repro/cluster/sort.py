@@ -47,6 +47,7 @@ from ..disks.timing import DISK_1996, DiskTimingModel
 from ..errors import ConfigError
 from ..rng import RngLike, ensure_rng, spawn
 from ..telemetry import TELEMETRY_OFF
+from ..telemetry.trace import StagedTracer
 from ..telemetry.schema import (
     CLUSTER_EXCHANGE_BLOCKS,
     CLUSTER_EXCHANGE_ROUNDS,
@@ -251,7 +252,56 @@ def cluster_sort(
         ClusterNode(index=i, system=fresh_system(), input_keys=part)
         for i, part in enumerate(parts)
     ]
+    if getattr(tel, "trace", None) is not None:
+        for n in nodes:
+            n.system.tracer = StagedTracer(f"node{n.index}")
     breakdown: dict[str, float] = {}
+
+    # -- causal tracing ------------------------------------------------
+    # When the telemetry carries an armed TraceCollector, every node
+    # system gets a StagedTracer buffering ops in node-local time; at
+    # each phase barrier the buffers are flushed rebased onto the
+    # cluster clock (``phase_start + (t - origin)`` — the very same
+    # subtraction the phase fold performs, so the slowest node's final
+    # record lands bit-exactly on the next phase start and the critical
+    # path tiles the cluster makespan).
+    collector = getattr(tel, "trace", None)
+    trace_dom = collector.new_domain("cluster") if collector is not None else None
+    trace_clock = 0.0
+    trace_barrier: int | None = None
+
+    def trace_begin() -> None:
+        if collector is None:
+            return
+        for n in nodes:
+            if n.system.tracer is not None:
+                n.system.tracer.begin_phase(n.system.elapsed_ms)
+
+    def trace_end(delta: float) -> None:
+        nonlocal trace_clock, trace_barrier
+        if collector is None:
+            return
+        phase_start = trace_clock
+        trace_clock = trace_clock + delta
+        best_id: int | None = None
+        best_end = phase_start
+        tracers = []
+        for n in nodes:
+            if n.system.tracer is not None:
+                tracers.append(n.system.tracer)
+            tracers.extend(
+                s.tracer for s in n.lost_systems if s.tracer is not None
+            )
+        for tr in tracers:
+            last_id, last_end = tr.flush(
+                collector, trace_dom, phase_start, trace_barrier
+            )
+            if last_id is not None and (
+                best_id is None or last_end >= best_end
+            ):
+                best_id, best_end = last_id, last_end
+        if best_id is not None:
+            trace_barrier = best_id
 
     def phase_deltas():
         marks = [(n.system, n.system.elapsed_ms) for n in nodes]
@@ -270,6 +320,7 @@ def cluster_sort(
         return close
 
     close = phase_deltas()
+    trace_begin()
     for node in nodes:
         rf_span = tel.span(
             SPAN_RUN_FORMATION, system=node.system, node=node.index,
@@ -283,9 +334,11 @@ def cluster_sort(
         rf_span.set(runs_formed=len(node.runs))
         rf_span.close()
     breakdown["run_formation"] = close()
+    trace_end(breakdown["run_formation"])
 
     # -- phase 2: splitter selection ------------------------------------
     close = phase_deltas()
+    trace_begin()
     sp_span = tel.span(SPAN_SPLITTER_SELECT, oversample=cluster.oversample)
     sample_read_ios = 0
     if P > 1:
@@ -304,9 +357,11 @@ def cluster_sort(
     sp_span.set(n_splitters=int(splitters.size), sample_reads=sample_read_ios)
     sp_span.close()
     breakdown["splitter_select"] = close()
+    trace_end(breakdown["splitter_select"])
 
     # -- phase 3: all-to-all exchange -----------------------------------
     close = phase_deltas()
+    trace_begin()
     ex_span = tel.span(SPAN_EXCHANGE, n_nodes=P)
     if P > 1:
         node_run_keys: list[list[np.ndarray]] = []
@@ -324,6 +379,11 @@ def cluster_sort(
             node = nodes[idx]
             node.lost_systems.append(node.system)
             node.system = fresh_system()
+            if collector is not None:
+                # The replacement starts its private clock at zero, which
+                # is exactly a fresh StagedTracer's origin; the loss makes
+                # the cluster timeline inexact (declared in the summary).
+                node.system.tracer = StagedTracer(f"node{idx}")
             infile = StripedFile.from_records(node.system, node.input_keys)
             return form_runs_load_sort(
                 node.system, infile, length, strategy, rebuild_rngs[idx],
@@ -366,10 +426,45 @@ def cluster_sort(
     )
     ex_span.close()
     breakdown["exchange"] = close()
+    trace_end(breakdown["exchange"])
     breakdown["link"] = report.link_ms
+    if collector is not None:
+        # The link phase is a serial chain of per-round slowest-link
+        # spans; the per-message transfers hang off each round as
+        # leaves.  ``acc`` replays the exact left fold that built
+        # ``report.link_ms``, so the chain's last end hits the next
+        # phase start bit-exactly.
+        phase_start = trace_clock
+        acc = 0.0
+        dep = trace_barrier
+        for ri, rms in enumerate(report.round_ms):
+            s = phase_start + acc
+            acc = acc + rms
+            if rms > 0.0:
+                links = (
+                    report.round_links[ri]
+                    if ri < len(report.round_links)
+                    else []
+                )
+                for ln in links:
+                    collector.add(
+                        "link",
+                        f"link:{ln['src']}->{ln['dst']}",
+                        trace_dom, s, s, s + ln["ms"], dep=dep,
+                        attrs={"blocks": ln["blocks"], "records": ln["records"]},
+                    )
+                dep = collector.add(
+                    "link_round", "link", trace_dom,
+                    s, s, phase_start + acc, dep=dep,
+                    attrs={"round": ri, "messages": len(links)},
+                )
+        trace_clock = trace_clock + report.link_ms
+        if dep is not None:
+            trace_barrier = dep
 
     # -- phase 4: per-node shard merges ---------------------------------
     close = phase_deltas()
+    trace_begin()
     for node in nodes:
         if not node.received:
             continue
@@ -403,6 +498,7 @@ def cluster_sort(
         sm_span.set(n_merge_passes=res.n_merge_passes)
         sm_span.close()
     breakdown["shard_merge"] = close()
+    trace_end(breakdown["shard_merge"])
 
     result = ClusterSortResult(
         cluster=cluster,
@@ -414,6 +510,12 @@ def cluster_sort(
         sample_read_ios=sample_read_ios,
         makespan_breakdown=breakdown,
     )
+    if collector is not None:
+        # A mid-exchange node loss restarts a private clock, so the
+        # rebuilt node's records overlay the phase rather than tile it.
+        collector.summary(
+            trace_dom, result.makespan_ms, exact=report.node_losses == 0
+        )
     tel.gauge(CLUSTER_PARTITION_SKEW).set(result.partition_skew)
     cs_span.set(
         partition_skew=result.partition_skew,

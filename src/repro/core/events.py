@@ -36,6 +36,7 @@ from ..disks.timing import DiskTimingModel
 from ..errors import ConfigError
 from ..telemetry import TELEMETRY_OFF
 from ..telemetry.schema import EV_OVERLAP_DISKS, H_OVERLAP_QUEUE_DEPTH
+from ..telemetry.trace import NetTracer
 from .config import OVERLAP_MODES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -90,8 +91,13 @@ class OverlapReport:
 
     @property
     def cpu_utilization(self) -> float:
-        """Fraction of the makespan the CPU spent merging."""
-        return self.cpu_busy_ms / self.makespan_ms if self.makespan_ms else 1.0
+        """Fraction of the makespan the CPU spent merging.
+
+        A zero-duration (empty-input) merge has no makespan to be busy
+        during, so its utilization is 0.0 rather than a division error
+        or a vacuous 1.0.
+        """
+        return self.cpu_busy_ms / self.makespan_ms if self.makespan_ms else 0.0
 
 
 class OverlapEngine:
@@ -177,12 +183,28 @@ class OverlapEngine:
             H_OVERLAP_QUEUE_DEPTH,
             tuple(float(v) for v in range(0, depth_cap + 1)),
         )
+        # Causal tracing: when the telemetry handle carries a trace
+        # ring, every clock advance and disk request becomes a record
+        # whose binding dep lets the critical path tile the makespan.
+        self._trace = getattr(self._tel, "trace", None)
+        self._cpu_tail: int | None = None  # last record on the cpu lane
+        self._write_done_rec: int | None = None
+        self._arrival_rec: dict[tuple[int, int], int] = {}
+        if self._trace is not None:
+            self._dom = self._trace.new_domain("merge")
+            self.net.tracer = NetTracer(self._trace, self._dom)
 
     # -- scheduler callbacks ---------------------------------------------
 
     def on_parread(self, ops: list[ReadOp]) -> None:
         """A ``ParRead`` was issued now; queue its per-disk requests."""
+        tracer = self.net.tracer
+        if tracer is not None:
+            tracer.issuer_dep = self._cpu_tail
         completes = self.net.submit([d for _, _, d in ops], self.now)
+        if tracer is not None:
+            for (r, b, _d), rec in zip(ops, tracer.last_batch):
+                self._arrival_rec[(r, b)] = rec
         for (r, b, _d), t in zip(ops, completes):
             self._arrival[(r, b)] = t
             if self._eager_issue:
@@ -204,6 +226,12 @@ class OverlapEngine:
     def compute(self, n_records: int) -> None:
         """The internal merge consumed *n_records*; advance the clock."""
         dt = n_records * self._cpu_ms_per_record
+        if dt > 0.0 and self._trace is not None:
+            self._cpu_tail = self._trace.add(
+                "compute", "cpu", self._dom, self.now, self.now,
+                self.now + dt, dep=self._cpu_tail,
+                attrs={"records": n_records},
+            )
         self.now += dt
         self.cpu_busy_ms += dt
 
@@ -211,22 +239,52 @@ class OverlapEngine:
         """The merge is about to read (*run*, *block*); stall if in flight."""
         self._prefetched.discard((run, block))
         t = self._arrival.pop((run, block), None)
+        arrival_rec = self._arrival_rec.pop((run, block), None)
         if t is not None and t > self.now:
+            if self._trace is not None:
+                # The stall's dep is the awaited disk op, whose end is
+                # bit-equal to the stall's end (`now` jumps to it).
+                self._cpu_tail = self._trace.add(
+                    "read_stall", "cpu", self._dom, self.now, self.now, t,
+                    dep=arrival_rec, attrs={"run": run, "block": block},
+                )
             self.read_stall_ms += t - self.now
             self.now = t
 
     def on_write(self, disks: list[int]) -> None:
         """The writer emitted one output stripe on *disks*."""
+        tracer = self.net.tracer
         if self.mode == "full":
             # Write-behind: M_W = 2D holds the stripe being filled plus
             # one in flight.  Submitting a new stripe requires the
             # previous one's frames back.
             if self._write_done > self.now:
+                if self._trace is not None:
+                    self._cpu_tail = self._trace.add(
+                        "write_stall", "cpu", self._dom, self.now,
+                        self.now, self._write_done,
+                        dep=self._write_done_rec,
+                    )
                 self.write_stall_ms += self._write_done - self.now
                 self.now = self._write_done
-            self._write_done = max(self.net.submit(disks, self.now, kind="write"))
+            if tracer is not None:
+                tracer.issuer_dep = self._cpu_tail
+            completes = self.net.submit(disks, self.now, kind="write")
+            self._write_done = max(completes)
+            if tracer is not None:
+                self._write_done_rec = tracer.last_batch[
+                    completes.index(self._write_done)
+                ]
         else:
-            done = max(self.net.submit(disks, self.now, kind="write"))
+            if tracer is not None:
+                tracer.issuer_dep = self._cpu_tail
+            completes = self.net.submit(disks, self.now, kind="write")
+            done = max(completes)
+            if self._trace is not None and done > self.now:
+                self._cpu_tail = self._trace.add(
+                    "write_stall", "cpu", self._dom, self.now, self.now,
+                    done, dep=tracer.last_batch[completes.index(done)],
+                )
             self.write_stall_ms += done - self.now
             self.now = done
         self.writes += 1
@@ -256,6 +314,8 @@ class OverlapEngine:
     def finish(self) -> OverlapReport:
         """Drain outstanding I/O and report the simulated timings."""
         makespan = max(self.now, self._write_done, self.net.drained_completion_ms())
+        if self._trace is not None:
+            self._trace.summary(self._dom, makespan)
         self._tel.event(
             EV_OVERLAP_DISKS,
             makespan_ms=makespan,

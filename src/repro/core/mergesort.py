@@ -424,6 +424,19 @@ def srm_sort(
     system = ParallelDiskSystem(config.n_disks, config.block_size, backend=backend)
     if faults is not None:
         system.attach_faults(faults, telemetry=telemetry)
+    collector = getattr(telemetry, "trace", None)
+    demand_tracer = None
+    if collector is not None and overlap is None:
+        # Demand-paced sorts advance one serial system clock; arm it
+        # (and a timing model, without which it never moves) so the
+        # trace tiles [0, elapsed_ms] on the channel lane.
+        from ..disks.timing import DISK_1996
+        from ..telemetry.trace import SystemTracer
+
+        if system.timing is None:
+            system.timing = timing if timing is not None else DISK_1996
+        demand_tracer = SystemTracer(collector, collector.new_domain("demand"))
+        system.tracer = demand_tracer
     infile = StripedFile.from_records(system, keys, payloads=payloads)
     result = srm_mergesort(
         system,
@@ -440,4 +453,6 @@ def srm_sort(
         telemetry=telemetry,
         merge_workers=merge_workers,
     )
+    if demand_tracer is not None:
+        demand_tracer.finish(system.elapsed_ms)
     return result.peek_sorted(system), result

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -61,6 +62,7 @@ from ..telemetry.schema import (
     PMERGE_RANGES,
     PMERGE_RECORDS,
     PMERGE_WORKERS,
+    EV_PMERGE_WORKER,
     SPAN_PMERGE,
     SPAN_PMERGE_PARTITION,
     SPAN_PMERGE_STITCH,
@@ -261,7 +263,7 @@ def _merge_range_worker(
     rows: int,
     total_records: int,
     out_offset: int,
-) -> tuple[int, int]:
+) -> tuple[int, int, float]:
     """Merge one output range inside a worker process.
 
     Reopens the backend's per-disk files read-only, slices each run's
@@ -269,7 +271,12 @@ def _merge_range_worker(
     records, merges with a stable argsort (reproducing the global
     ``(key, run, pos)`` order within the range), and writes the result
     into this range's disjoint region of the shared scratch file.
+
+    Returns ``(out_offset, records_merged, drain_seconds)`` — the drain
+    time is the worker's own wall clock, reported back so the parent
+    can emit per-worker spans.
     """
+    drain_t0 = time.perf_counter()
     flats = [open_disk_flat(p) for p in paths]
     key_parts: list[np.ndarray] = []
     pay_parts: list[np.ndarray] = []
@@ -302,7 +309,39 @@ def _merge_range_worker(
         ]
     # No msync: the parent reads the scratch region through the same
     # page cache, so flushing to stable storage would only cost time.
-    return out_offset, int(merged.size)
+    return out_offset, int(merged.size), time.perf_counter() - drain_t0
+
+
+def _emit_worker_spans(tel, drains: list[tuple[int, float]]) -> None:
+    """Per-worker drain telemetry: one event and one wall-lane trace
+    record per range.
+
+    Drain times are the workers' own wall clocks, so the trace records
+    land in a dedicated ``wall`` domain (declared inexact) that never
+    mixes with — and never perturbs — the simulated timelines.  Trace
+    determinism therefore holds only for the simulated domains; the
+    determinism tests run with ``workers == 1``.
+    """
+    if not drains:
+        return
+    for i, (records, drain_s) in enumerate(drains):
+        tel.event(
+            EV_PMERGE_WORKER, worker=i, records=records,
+            drain_s=round(drain_s, 6),
+        )
+    collector = getattr(tel, "trace", None)
+    if collector is None:
+        return
+    dom = collector.new_domain("wall")
+    last_end = 0.0
+    for i, (records, drain_s) in enumerate(drains):
+        end = drain_s * 1000.0
+        collector.add(
+            "compute", f"worker{i}", dom, 0.0, 0.0, end,
+            attrs={"records": records},
+        )
+        last_end = max(last_end, end)
+    collector.summary(dom, last_end, exact=False)
 
 
 def _merge_range_inprocess(
@@ -502,9 +541,12 @@ def parallel_merge_runs(
             raise ScheduleError("ghost drive ended with unexhausted runs")
 
         # ---- collect worker results ----------------------------------
+        drains: list[tuple[int, float]] = []  # (records, drain_s) per range
         if use_pool:
             assert futures is not None
-            written = sum(f.result()[1] for f in futures)
+            results = [f.result() for f in futures]
+            drains = [(size, drain_s) for _, size, drain_s in results]
+            written = sum(size for _, size, _ in results)
             if written != n_records:
                 raise ScheduleError(
                     f"workers merged {written} records, expected {n_records}"
@@ -514,7 +556,15 @@ def parallel_merge_runs(
             )
         else:
             assert gathered is not None
-            merged_parts = [_merge_range_inprocess(g) for g in gathered]
+            merged_parts = []
+            for g in gathered:
+                t0 = time.perf_counter()
+                part = _merge_range_inprocess(g)
+                drains.append(
+                    (int(part[0].size), time.perf_counter() - t0)
+                )
+                merged_parts.append(part)
+        _emit_worker_spans(tel, drains)
     finally:
         if pool is not None:
             pool.shutdown()

@@ -103,6 +103,10 @@ class ServiceNetwork:
     read_ops: int = 0
     write_ops: int = 0
     faults: object | None = None
+    #: Optional :class:`~repro.telemetry.trace.NetTracer`.  When armed,
+    #: every accepted request emits causal trace records (op body,
+    #: fault-stall window, recovery tail) with binding predecessors.
+    tracer: object | None = None
 
     def __post_init__(self) -> None:
         if self.n_disks < 1:
@@ -123,13 +127,18 @@ class ServiceNetwork:
         """
         base = self.timing.op_time_ms(self.block_size)
         inj = self.faults
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_batch()
         completes = []
         busy = 0.0
         for d in disk_ids:
             service = base
+            core = base
             not_before = 0.0
             if inj is not None:
                 service = service * inj.latency_factor(d)
+                core = service  # the data op itself (straggler-scaled)
                 service += inj.take_penalty_ms(d)
                 # Charged recovery block-ops (parity reconstruction
                 # reads, rebuild and repair writes) queue as extra
@@ -137,7 +146,13 @@ class ServiceNetwork:
                 service += base * inj.take_recovery_ops(d)
                 candidate = max(issue_ms, self.disks[d].free_at)
                 not_before = inj.stall_release(d, candidate)
+            free_at = self.disks[d].free_at
             completes.append(self.disks[d].submit(issue_ms, service, not_before))
+            if tracer is not None:
+                tracer.disk_op(
+                    d, kind, issue_ms, free_at, not_before,
+                    core, service, completes[-1],
+                )
             busy += service
         if kind == "write":
             self.write_busy_ms += busy
@@ -172,7 +187,10 @@ class ServiceNetwork:
                 residual = base * inj.take_recovery_ops(d)
                 residual += inj.take_penalty_ms(d)
                 if residual > 0.0:
-                    srv.submit(srv.free_at, residual)
+                    free_at = srv.free_at
+                    complete = srv.submit(free_at, residual)
+                    if self.tracer is not None:
+                        self.tracer.residual(d, free_at, complete)
         return self.latest_completion_ms
 
     def per_disk_summary(self) -> list[dict]:

@@ -96,6 +96,10 @@ class ParallelDiskSystem:
         self.channel_rounds = 0
         #: Optional IOTrace; assign one to record every operation.
         self.trace = None
+        #: Optional causal tracer (:class:`~repro.telemetry.trace
+        #: .SystemTracer` or a cluster ``StagedTracer``): every charged
+        #: clock advance emits one timeline record on the channel lane.
+        self.tracer = None
         #: Fault injection state (see :meth:`attach_faults`).  ``None``
         #: keeps every I/O on the original fault-free fast path.
         self.faults = None
@@ -217,7 +221,10 @@ class ParallelDiskSystem:
         """Account one retry delay on the clock and the disk's queue."""
         self.faults.count_retry(disk, backoff_ms)
         if self.timing is not None:
+            t0 = self.elapsed_ms
             self.elapsed_ms += backoff_ms
+            if self.tracer is not None:
+                self.tracer.op("backoff", 1, t0, self.elapsed_ms)
 
     # -- allocation ------------------------------------------------------
 
@@ -295,9 +302,12 @@ class ParallelDiskSystem:
         for a in addresses:
             out.append(None if a is None else self.disks[a.disk].read(a.slot))
         self.stats.record_read([a.disk for a in live])
+        t0 = self.elapsed_ms
         self._advance_clock(len(live))
         if self.trace is not None:
             self.trace.record("read", [a.disk for a in live], self.elapsed_ms)
+        if self.tracer is not None:
+            self.tracer.op("read", len(live), t0, self.elapsed_ms)
         return out
 
     def charge_read_stripe(self, addresses: Sequence[BlockAddress]) -> None:
@@ -325,9 +335,12 @@ class ParallelDiskSystem:
                     f"disk {a.disk} slot {a.slot} holds no block"
                 )
         self.stats.record_read([a.disk for a in live])
+        t0 = self.elapsed_ms
         self._advance_clock(len(live))
         if self.trace is not None:
             self.trace.record("read", [a.disk for a in live], self.elapsed_ms)
+        if self.tracer is not None:
+            self.tracer.op("read", len(live), t0, self.elapsed_ms)
 
     def write_stripe(
         self, writes: Sequence[tuple[BlockAddress, Block]]
@@ -350,9 +363,12 @@ class ParallelDiskSystem:
         for addr, block in writes:
             self.disks[addr.disk].write(addr.slot, block)
         self.stats.record_write([a.disk for a, _ in writes])
+        t0 = self.elapsed_ms
         self._advance_clock(len(writes))
         if self.trace is not None:
             self.trace.record("write", [a.disk for a, _ in writes], self.elapsed_ms)
+        if self.tracer is not None:
+            self.tracer.op("write", len(writes), t0, self.elapsed_ms)
         return [a.disk for a, _ in writes]
 
     # -- fault-injected I/O paths ------------------------------------------
@@ -371,9 +387,12 @@ class ParallelDiskSystem:
             self.stats.record_read(disks)
         else:
             self.stats.record_write(disks)
+        t0 = self.elapsed_ms
         self._advance_clock(len(disks))
         if self.trace is not None:
             self.trace.record(kind, disks, self.elapsed_ms)
+        if self.tracer is not None:
+            self.tracer.op(kind, len(disks), t0, self.elapsed_ms)
 
     def _account_rounds(self, kind: str, physical_disks: list[int]) -> None:
         """Charge operations, splitting same-disk collisions into rounds."""
@@ -584,9 +603,12 @@ class ParallelDiskSystem:
         self.disks[d].write(addr.slot, pblk)
         if charged:
             self.stats.record_write([d])
+            t0 = self.elapsed_ms
             self._advance_clock(1)
             if self.trace is not None:
                 self.trace.record("write", [d], self.elapsed_ms)
+            if self.tracer is not None:
+                self.tracer.op("parity", 1, t0, self.elapsed_ms)
             inj.note_op(d)
             # Let the overlap engine feel the extra spindle time too.
             inj.add_recovery_ops(d)

@@ -161,6 +161,11 @@ class ChaosReport:
             if not r.metrics_ok:
                 msgs.append(f"{tag}: fault metrics missing or inconsistent")
             s = r.stats
+            if s.get("trace_exact") is False:
+                msgs.append(
+                    f"{tag}: traced makespan did not decompose exactly "
+                    "along the critical path"
+                )
             if s.get("undetected_corruptions", 0) != 0:
                 msgs.append(
                     f"{tag}: {s['undetected_corruptions']} corruption(s) "
@@ -510,6 +515,9 @@ def run_chaos(
     death_after = max(1, ref_res.total_parallel_ios // 2)
     overlap_cfg = OverlapConfig(mode="full", prefetch_depth=2)
     ref_overlap_ms: float | None = None
+    ref_attr: dict | None = None
+    # Lazy: analysis pulls in the whole package graph.
+    from ..analysis.critical_path import analyze_collector, combine_attribution
 
     refs: dict[str, tuple[np.ndarray, int]] = {
         "srm": (ref_out, ref_res.total_parallel_ios)
@@ -527,10 +535,20 @@ def run_chaos(
             try:
                 if algo == "srm":
                     if sc.overlap and ref_overlap_ms is None:
+                        # The fault-free reference run is traced too, so
+                        # each scenario's attribution reads as a *delta*
+                        # against an undisturbed timeline.
+                        ref_tel = Telemetry(harness="chaos", scenario="reference")
+                        ref_col = ref_tel.attach_trace()
                         _, ro = srm_sort(
-                            keys, srm_cfg, rng=seed + 17, overlap=overlap_cfg
+                            keys, srm_cfg, rng=seed + 17, overlap=overlap_cfg,
+                            telemetry=ref_tel,
                         )
                         ref_overlap_ms = ro.simulated_merge_ms
+                        ref_attr = combine_attribution(
+                            analyze_collector(ref_col).values()
+                        )
+                    col = tel.attach_trace() if sc.overlap else None
                     out, res = srm_sort(
                         keys,
                         srm_cfg,
@@ -550,6 +568,21 @@ def run_chaos(
                 system = res.system
                 stats = system.faults.stats.snapshot()
                 stats["_expect"] = sorted(sc.expect)
+                if algo == "srm" and sc.overlap and col is not None:
+                    analyses = analyze_collector(col)
+                    attr = combine_attribution(analyses.values())
+                    stats["attribution"] = {
+                        c: round(ms, 3) for c, ms in attr.items() if ms
+                    }
+                    stats["trace_exact"] = all(
+                        a.exact for a in analyses.values()
+                    )
+                    if ref_attr is not None:
+                        stats["attribution_delta"] = {
+                            c: round(attr.get(c, 0.0) - ref_attr.get(c, 0.0), 3)
+                            for c in set(attr) | set(ref_attr)
+                            if attr.get(c, 0.0) != ref_attr.get(c, 0.0)
+                        }
                 ref_keys, ref_ios = refs[algo]
                 result = ScenarioResult(
                     scenario=sc.name,

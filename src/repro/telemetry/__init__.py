@@ -19,6 +19,12 @@ mapping to paper quantities is documented in ``docs/OBSERVABILITY.md``.
 from .registry import NULL_METRIC, Counter, Gauge, Histogram, MetricsRegistry
 from .report import RunReport, load_events
 from .spans import TELEMETRY_OFF, NullTelemetry, Span, Telemetry
+from .trace import (
+    TraceCollector,
+    TraceRecord,
+    chrome_trace,
+    write_chrome_trace,
+)
 from . import schema
 
 __all__ = [
@@ -32,6 +38,10 @@ __all__ = [
     "Span",
     "Telemetry",
     "TELEMETRY_OFF",
+    "TraceCollector",
+    "TraceRecord",
+    "chrome_trace",
+    "write_chrome_trace",
     "load_events",
     "schema",
 ]

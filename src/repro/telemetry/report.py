@@ -27,6 +27,7 @@ from ..occupancy.bounds import gf_expected_max_bound
 from .schema import (
     EV_OVERLAP_DISKS,
     H_FLUSH_OCCUPANCY,
+    SPAN_CLUSTER_SORT,
     SPAN_MERGE,
     SPAN_MERGE_PASS,
     SPAN_RUN_FORMATION,
@@ -196,6 +197,32 @@ class RunReport:
             if ev.get("type") == "event" and ev.get("name") == EV_OVERLAP_DISKS
         ]
 
+    # -- causal trace ----------------------------------------------------
+
+    def trace_records(self) -> list[dict]:
+        return [ev for ev in self.events if ev.get("type") == "trace"]
+
+    def trace_summaries(self) -> list[dict]:
+        return [ev for ev in self.events if ev.get("type") == "trace_summary"]
+
+    @property
+    def trace_dropped(self) -> int:
+        """Ring-overflow eviction count (0 when nothing was dropped)."""
+        sums = self.trace_summaries()
+        return max((s.get("dropped", 0) for s in sums), default=0)
+
+    def attribution(self):
+        """Critical-path attribution per traced domain.
+
+        Returns ``{domain: DomainAttribution}`` (empty when the stream
+        carries no trace records).
+        """
+        from ..analysis.critical_path import analyze_events
+
+        if not self.trace_records() and not self.trace_summaries():
+            return {}
+        return analyze_events(self.events)
+
     # -- checks ----------------------------------------------------------
 
     def check(self, slack: float = CHECK_SLACK) -> list[str]:
@@ -209,7 +236,9 @@ class RunReport:
         formation phase).
         """
         failures: list[str] = []
-        if not self.spans_named(SPAN_SORT):
+        if not self.spans_named(SPAN_SORT) and not self.spans_named(
+            SPAN_CLUSTER_SORT
+        ):
             failures.append("no sort span in stream")
         if not self.spans_named(SPAN_RUN_FORMATION):
             failures.append("no run_formation span in stream")
@@ -232,6 +261,24 @@ class RunReport:
                     f"{hist['counts'][-1]} flushes with occupancy excess "
                     f"beyond D (edges {hist['edges']}) — violates §5.4"
                 )
+        for dom, a in self.attribution().items():
+            # A domain whose producer declared its timeline exact must
+            # decompose exactly: same float, not approximately.
+            declared = [
+                s for s in self.trace_summaries() if s["dom"] == dom
+            ]
+            if declared and declared[-1].get("exact") and not a.truncated:
+                if a.total_ms != a.makespan_ms:
+                    failures.append(
+                        f"trace domain {dom}: critical path "
+                        f"{a.total_ms!r} ms != makespan "
+                        f"{a.makespan_ms!r} ms"
+                    )
+                if not a.exact:
+                    failures.append(
+                        f"trace domain {dom}: walk did not certify "
+                        f"exactness (reached_zero/truncation)"
+                    )
         return failures
 
     # -- rendering -------------------------------------------------------
@@ -309,6 +356,58 @@ class RunReport:
                     f"{row['disk_utilization']:>9.3f} {row['eager_reads']:>6} "
                     f"{row['demand_reads']:>7}"
                 )
+        return "\n".join(lines)
+
+    def render_attribution(self) -> str:
+        """Makespan attribution: critical path, lanes, stragglers."""
+        from ..analysis.critical_path import IDLE_GAP_EDGES, TRACE_CATEGORIES
+
+        analyses = self.attribution()
+        if not analyses:
+            return "no trace records in stream (run with --trace)"
+        lines: list[str] = ["makespan attribution (critical-path walk)"]
+        for dom in sorted(analyses):
+            a = analyses[dom]
+            tag = "exact" if a.exact else (
+                "truncated" if a.truncated else "inexact"
+            )
+            lines += [
+                "",
+                f"domain {dom}: makespan {a.makespan_ms:.3f} ms, "
+                f"critical path {a.total_ms:.3f} ms [{tag}] "
+                f"({a.records} records)",
+            ]
+            parts = [
+                f"{cat} {a.attribution[cat]:.1f} ms "
+                f"({100.0 * a.fraction(cat):.1f}%)"
+                for cat in TRACE_CATEGORIES
+                if a.attribution.get(cat)
+            ]
+            if parts:
+                lines.append("  attribution: " + ", ".join(parts))
+            if a.lanes:
+                lines.append(
+                    f"  {'lane':<14} {'ops':>6} {'busy_ms':>10} "
+                    f"{'util':>6}  idle gaps (> {IDLE_GAP_EDGES[0]} ms)"
+                )
+                for l in a.lanes:
+                    gaps = sum(l.idle_gap_counts[1:])
+                    mark = "  << straggler" if l.straggler else ""
+                    lines.append(
+                        f"  {l.lane:<14} {l.ops:>6} {l.busy_ms:>10.1f} "
+                        f"{l.utilization:>6.2f}  {gaps}{mark}"
+                    )
+            if a.stragglers:
+                lines.append(
+                    "  stragglers: " + ", ".join(a.stragglers)
+                )
+        dropped = self.trace_dropped
+        if dropped:
+            lines += [
+                "",
+                f"WARNING: trace ring overflowed — {dropped} oldest "
+                "records dropped; walks touching them report truncated",
+            ]
         return "\n".join(lines)
 
 

@@ -94,6 +94,8 @@ __all__ = [
     "EV_OVERLAP_DISKS",
     "EV_DISK_DEATH",
     "EV_NODE_LOSS",
+    "EV_EXCHANGE_ROUND",
+    "EV_PMERGE_WORKER",
     "read_width_edges",
     "occupancy_edges",
     "run_length_edges",
@@ -274,6 +276,13 @@ EV_DISK_DEATH = "disk_death"
 #: A cluster node was lost mid-exchange; attrs carry the node id, the
 #: round it died after, and the rebuild charges.
 EV_NODE_LOSS = "node_loss"
+#: One all-to-all exchange round; attrs carry the round index, its
+#: critical (slowest-link) time, and per-link ``{src, dst, blocks,
+#: records, ms}`` alpha-beta charges.
+EV_EXCHANGE_ROUND = "exchange_round"
+#: One parallel-merge worker finished its range drain; attrs carry the
+#: worker index, records merged, and wall-clock drain seconds.
+EV_PMERGE_WORKER = "pmerge_worker"
 
 
 # -- bucket layouts --------------------------------------------------------
@@ -371,6 +380,14 @@ def validate_events(events: list[dict]) -> list[str]:
             n_metrics += 1
             if not isinstance(ev.get("metrics"), dict):
                 errors.append(f"metrics event {i} carries no metrics dict")
+        elif t == "trace":
+            missing = [f for f in ("i", "kind", "cat", "lane", "dom",
+                                   "tq", "ts", "te") if f not in ev]
+            if missing:
+                errors.append(f"trace event {i} missing fields {missing}")
+        elif t == "trace_summary":
+            if "dom" not in ev or "makespan_ms" not in ev:
+                errors.append(f"trace_summary event {i} missing dom/makespan_ms")
         elif t not in ("meta", "event"):
             errors.append(f"event {i} has unknown type {t!r}")
     for sid, ev in spans.items():

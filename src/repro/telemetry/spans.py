@@ -107,6 +107,9 @@ class Telemetry:
         self._span_counter = 0
         self._seq = 0
         self._finished = False
+        #: Optional causal-trace ring (:mod:`repro.telemetry.trace`);
+        #: armed via :meth:`attach_trace`, flushed by :meth:`finish`.
+        self.trace = None
         self.events.append(
             {"type": "meta", "schema": SCHEMA_VERSION, **meta}
         )
@@ -149,6 +152,22 @@ class Telemetry:
              "attrs": attrs}
         )
 
+    def attach_trace(self, collector=None):
+        """Arm causal tracing; returns the (shared) trace collector.
+
+        Producers discover the ring via ``getattr(telemetry, "trace",
+        None)``; its records and per-domain summaries are flushed into
+        the event stream by :meth:`finish`, just before the metrics
+        snapshot.
+        """
+        if self.trace is None:
+            if collector is None:
+                from .trace import TraceCollector
+
+                collector = TraceCollector()
+            self.trace = collector
+        return self.trace
+
     def finish(self) -> list[dict]:
         """Close the stream: append the metrics snapshot exactly once."""
         if self._stack:
@@ -157,6 +176,8 @@ class Telemetry:
             )
         if not self._finished:
             self._finished = True
+            if self.trace is not None:
+                self.events.extend(self.trace.to_events())
             self.events.append(
                 {"type": "metrics", "metrics": self.registry.snapshot()}
             )
@@ -196,6 +217,9 @@ class NullTelemetry:
     """Disabled telemetry: every accessor returns a shared no-op object."""
 
     enabled = False
+    #: Disabled mode never owns a trace ring; producers that probe
+    #: ``getattr(telemetry, "trace", None)`` see None and skip tracing.
+    trace = None
     __slots__ = ()
 
     def counter(self, name: str):
