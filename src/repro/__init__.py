@@ -54,6 +54,7 @@ from .core import (
     lemma6_read_bound,
     merge_runs,
     simulate_merge,
+    sort_records_on_system,
     srm_mergesort,
     srm_sort,
 )
@@ -112,6 +113,7 @@ __all__ = [
     "lemma6_read_bound",
     "merge_runs",
     "simulate_merge",
+    "sort_records_on_system",
     "srm_mergesort",
     "srm_sort",
     "Block",

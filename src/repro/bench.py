@@ -605,6 +605,76 @@ def bench_parallel_merge(n_records: int, worker_counts: tuple[int, ...] = (1, 2,
     return out
 
 
+def bench_service(n_jobs: int = 8, tenant_counts: tuple[int, ...] = (2, 3),
+                  policies: tuple[str, ...] = ("rr", "wfq", "srpt"),
+                  k: int = 2, n_disks: int = 4, block_size: int = 16,
+                  seed: int = 5) -> dict:
+    """Multi-tenant contention table: shared farm vs. isolated serial.
+
+    A fully backlogged batch of jobs is served once per (policy, tenant
+    count).  Every row re-verifies the service's core guarantee — each
+    tenant bit-identical to its solo run (output, schedules, I/O
+    counters) — and prices the contention: aggregate throughput against
+    the sum of isolated makespans (work conservation pins it at ~1.0),
+    Jain fairness over weight-normalized per-tenant rounds, and p50/p95
+    job makespan, which is where the policies actually differ.
+    """
+    from .core.config import SRMConfig as _SRMConfig
+    from .service import run_arrival_script
+    from .workloads import batch_arrivals
+
+    cfg = _SRMConfig.from_k(k, n_disks, block_size)
+    rows = []
+    for n_tenants in tenant_counts:
+        arrivals = batch_arrivals(
+            n_jobs, n_tenants=n_tenants, min_records=400,
+            max_records=1_600, rng=seed,
+        )
+        tenants = sorted({a.tenant for a in arrivals})
+        weights = {t: (2.0 if i == 0 else 1.0) for i, t in enumerate(tenants)}
+        n_records = sum(a.n_records for a in arrivals)
+        for policy in policies:
+            wall, result = _time(
+                lambda policy=policy: run_arrival_script(
+                    arrivals, cfg, policy=policy, tenant_weights=weights
+                )
+            )
+            failures = result.verify_against_solo()
+            if failures:
+                raise DataError(
+                    f"service identity violated ({policy}, {n_tenants} "
+                    f"tenants): {failures[0]}"
+                )
+            pct = result.completion_percentiles()
+            rows.append({
+                "policy": policy,
+                "n_tenants": n_tenants,
+                "n_jobs": n_jobs,
+                "wall_s": round(wall, 6),
+                "makespan_ms": round(result.makespan_ms, 1),
+                "busy_ms": round(result.busy_ms, 1),
+                "isolated_total_ms": round(result.isolated_total_ms, 1),
+                "throughput_vs_isolated": round(
+                    result.throughput_vs_isolated(), 4
+                ),
+                "records_per_sim_s": round(
+                    1000.0 * n_records / result.makespan_ms, 1
+                ),
+                "fairness_index": round(result.fairness_index(), 4),
+                "p50_makespan_ms": round(pct["p50"], 1),
+                "p95_makespan_ms": round(pct["p95"], 1),
+            })
+    return {
+        "rows": rows,
+        "identity_vs_solo": True,  # asserted above, every row
+        "params": {
+            "n_jobs": n_jobs, "tenant_counts": list(tenant_counts),
+            "policies": list(policies), "k": k, "n_disks": n_disks,
+            "block_size": block_size, "seed": seed,
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run the full harness; returns the JSON-ready report."""
     scale = QUICK if quick else FULL
@@ -624,6 +694,10 @@ def run_benchmarks(quick: bool = False) -> dict:
         "cluster": bench_cluster(
             scale["merge_records"],
             node_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
+        ),
+        "service": bench_service(
+            n_jobs=6 if quick else 8,
+            tenant_counts=(2,) if quick else (2, 3),
         ),
     }
     return report
@@ -690,6 +764,13 @@ def main(argv: list[str] | None = None) -> int:
               f"  speedup {row['speedup_vs_p1']:.2f}x"
               f"  skew {row['partition_skew']:.3f}"
               f"  link {row['link_ms']:.1f} ms")
+    for row in report["service"]["rows"]:
+        print(f"service {row['policy']:<5} T={row['n_tenants']}"
+              f"  makespan {row['makespan_ms']:>9,.0f} ms"
+              f"  thr/iso {row['throughput_vs_isolated']:.3f}"
+              f"  fair {row['fairness_index']:.3f}"
+              f"  p50/p95 {row['p50_makespan_ms']:,.0f}/"
+              f"{row['p95_makespan_ms']:,.0f} ms")
     print(f"report -> {args.out}")
 
     ok = True

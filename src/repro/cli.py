@@ -418,6 +418,102 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import math
+
+    from .analysis.critical_path import analyze_events, tenant_attribution
+    from .service import run_arrival_script
+    from .service.policy import POLICIES
+    from .workloads import (
+        batch_arrivals,
+        bursty_arrivals,
+        load_arrivals,
+        poisson_arrivals,
+    )
+
+    cfg = SRMConfig.from_k(args.k, args.disks, args.block)
+    n_jobs = 4 if args.quick else args.jobs
+    lo = 300 if args.quick else args.min_records
+    hi = 800 if args.quick else args.max_records
+
+    def build_arrivals(n_tenants: int):
+        if args.arrivals_file is not None:
+            return load_arrivals(args.arrivals_file)
+        if args.arrivals == "poisson":
+            return poisson_arrivals(
+                n_jobs, rate_per_s=args.rate, n_tenants=n_tenants,
+                min_records=lo, max_records=hi, rng=args.seed,
+            )
+        if args.arrivals == "burst":
+            return bursty_arrivals(
+                n_jobs, burst_size=max(2, n_jobs // 2),
+                burst_gap_ms=1_000.0 / max(args.rate, 1e-9),
+                n_tenants=n_tenants, min_records=lo, max_records=hi,
+                rng=args.seed,
+            )
+        return batch_arrivals(
+            n_jobs, n_tenants=n_tenants, min_records=lo, max_records=hi,
+            rng=args.seed,
+        )
+
+    if args.sweep:
+        combos = [(p, nt) for p in POLICIES for nt in (2, 3)]
+    else:
+        combos = [(args.policy, args.tenants)]
+    if args.out is not None:
+        open(args.out, "w").close()  # one file, rows appended per combo
+
+    failures: list[str] = []
+    for policy, n_tenants in combos:
+        arrivals = build_arrivals(n_tenants)
+        tenants = sorted({a.tenant for a in arrivals})
+        # First tenant weighted 2x so wfq visibly differs from rr.
+        weights = {t: (2.0 if i == 0 else 1.0) for i, t in enumerate(tenants)}
+        tel = Telemetry(run="serve", policy=policy, n_tenants=len(tenants))
+        tel.attach_trace()
+        result = run_arrival_script(
+            arrivals, cfg, policy=policy, tenant_weights=weights,
+            max_slots=args.slots, telemetry=tel,
+        )
+        if args.check:
+            for f in result.verify_against_solo():
+                failures.append(f"[{policy} x{len(tenants)}] {f}")
+            events = tel.finish()
+            att = tenant_attribution(events, "service:0")
+            att_sum = sum(att.values())
+            dom = analyze_events(events).get("service:0")
+            if dom is None or not dom.exact:
+                failures.append(
+                    f"[{policy} x{len(tenants)}] service trace not exact"
+                )
+            if not math.isclose(att_sum, result.makespan_ms, rel_tol=1e-9):
+                failures.append(
+                    f"[{policy} x{len(tenants)}] tenant attribution sums to "
+                    f"{att_sum:.6f} ms, makespan is {result.makespan_ms:.6f} ms"
+                )
+        print(result.render())
+        print()
+        if args.out is not None:
+            result.write_jsonl(args.out)
+        if args.telemetry is not None:
+            # One stream per invocation: under --sweep the last combo wins.
+            tel.write_jsonl(args.telemetry)
+    if args.out is not None:
+        print(f"wrote {args.out}")
+    if args.telemetry is not None:
+        print(f"wrote {args.telemetry} (inspect with: "
+              f"repro inspect {args.telemetry} --attribution)")
+    if args.check:
+        if failures:
+            print("serve check FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("serve check passed: every tenant bit-identical to solo, "
+              "work conserved, attribution exact")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main as bench_main
 
@@ -607,6 +703,46 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--min-rs-speedup", type=float, default=None,
                     help="fail unless block/record >= this ratio")
     be.set_defaults(func=_cmd_bench)
+
+    sv = sub.add_parser(
+        "serve",
+        help="multi-tenant sort service: fair dispatch over one shared farm",
+    )
+    sv.add_argument("--policy", choices=("rr", "wfq", "srpt"), default="rr",
+                    help="fairness policy (default: %(default)s)")
+    sv.add_argument("--sweep", action="store_true",
+                    help="run all 3 policies x 2 tenant counts (2 and 3)")
+    sv.add_argument("--arrivals", choices=("poisson", "burst", "batch"),
+                    default="poisson",
+                    help="arrival script shape (default: %(default)s)")
+    sv.add_argument("--arrivals-file", metavar="PATH", default=None,
+                    help="replay a JSON arrival script instead of generating")
+    sv.add_argument("--jobs", type=int, default=8,
+                    help="jobs in the generated script (default: %(default)s)")
+    sv.add_argument("--tenants", type=int, default=2,
+                    help="tenants in the generated script (default: %(default)s)")
+    sv.add_argument("--rate", type=float, default=40.0,
+                    help="mean arrivals per simulated second (default: %(default)s)")
+    sv.add_argument("--min-records", type=int, default=500)
+    sv.add_argument("--max-records", type=int, default=1500)
+    sv.add_argument("--disks", type=int, default=4)
+    sv.add_argument("--block", type=int, default=8)
+    sv.add_argument("--k", type=int, default=2, help="merge order R = kD")
+    sv.add_argument("--slots", type=int, default=8,
+                    help="admission queue slots (default: %(default)s)")
+    sv.add_argument("--seed", type=int, default=1234)
+    sv.add_argument("--quick", action="store_true",
+                    help="reduced scale (CI smoke): 4 jobs, 300-800 records")
+    sv.add_argument("--check", action="store_true",
+                    help="exit 1 unless every tenant is bit-identical to its "
+                         "solo run, the service is work-conserving, and the "
+                         "per-tenant attribution sums to the makespan")
+    sv.add_argument("--out", metavar="PATH", default=None,
+                    help="append per-run summary + job rows as JSONL to PATH")
+    sv.add_argument("--telemetry", metavar="PATH", default=None,
+                    help="write the service telemetry stream (spans, "
+                         "service.* metrics, tagged trace) to PATH")
+    sv.set_defaults(func=_cmd_serve)
 
     ch = sub.add_parser(
         "chaos",

@@ -23,6 +23,7 @@ from .mergesort import (
     PassStats,
     SortResult,
     run_merge_passes,
+    sort_records_on_system,
     srm_mergesort,
     srm_sort,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "PassStats",
     "SortResult",
     "run_merge_passes",
+    "sort_records_on_system",
     "srm_mergesort",
     "srm_sort",
     "PhaseBound",

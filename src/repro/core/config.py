@@ -51,11 +51,16 @@ class OverlapConfig:
     cpu_us_per_record:
         Internal merge processing cost per record, in microseconds,
         charged against the simulated clock.
+    job_tag:
+        Optional job id stamped on every disk op the engine queues
+        (trace-record attrs), so the critical-path attribution of a
+        shared timeline decomposes per job/tenant.
     """
 
     mode: str = "full"
     prefetch_depth: int = 2
     cpu_us_per_record: float = 1.0
+    job_tag: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in OVERLAP_MODES:

@@ -146,6 +146,7 @@ class OverlapEngine:
         prefetch_depth: int = 2,
         telemetry=None,
         faults=None,
+        job_tag: str | None = None,
     ) -> None:
         if mode not in OVERLAP_MODES:
             raise ConfigError(
@@ -193,6 +194,11 @@ class OverlapEngine:
         if self._trace is not None:
             self._dom = self._trace.new_domain("merge")
             self.net.tracer = NetTracer(self._trace, self._dom)
+            if job_tag is not None:
+                # Every queued disk op carries the owning job's id, so
+                # per-tenant attribution can decompose an engine-driven
+                # timeline the same way it splits the demand clock.
+                self.net.tracer.context = {"job": job_tag}
 
     # -- scheduler callbacks ---------------------------------------------
 

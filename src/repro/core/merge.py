@@ -160,6 +160,7 @@ def merge_runs(
             prefetch_depth=overlap.prefetch_depth,
             telemetry=telemetry,
             faults=system.faults,
+            job_tag=overlap.job_tag,
         )
 
     # Resident block contents: (keys, payloads-or-None).

@@ -164,12 +164,16 @@ def run_merge_passes(
             n_runs_in=len(runs),
         )
         reads = writes = flush_ops = blocks_flushed = n_merges = 0
+        # On a shared (service) farm the job's own counters live in
+        # system.stats_sink; bracketing the per-merge delta there keeps
+        # PassStats clean of other tenants' interleaved rounds.
+        acct = getattr(system, "stats_sink", None) or system.stats
         for g, group in enumerate(groups):
             if len(group) == 1:
                 # A leftover run passes through untouched (no I/O).
                 out_runs.append(group[0])
                 continue
-            before = system.stats.snapshot()
+            before = acct.snapshot()
             if parallel_workers is not None:
                 mres = parallel_merge_runs(
                     system,
@@ -194,7 +198,7 @@ def run_merge_passes(
                     telemetry=telemetry,
                 )
             next_run_id += 1
-            delta = system.stats.since(before)
+            delta = acct.since(before)
             reads += delta.parallel_reads
             writes += delta.parallel_writes
             flush_ops += mres.schedule.flush_ops
@@ -387,6 +391,50 @@ def _record_backend_stats(tel, sort_span, system: ParallelDiskSystem) -> None:
     )
 
 
+def sort_records_on_system(
+    system: ParallelDiskSystem,
+    keys: np.ndarray,
+    config: SRMConfig,
+    strategy: LayoutStrategy = LayoutStrategy.RANDOMIZED,
+    rng: RngLike = None,
+    validate: bool = False,
+    run_length: int | None = None,
+    formation: str = "load_sort",
+    payloads: np.ndarray | None = None,
+    overlap: OverlapConfig | None = None,
+    timing: DiskTimingModel | None = None,
+    merger: str = "auto",
+    telemetry=None,
+    merge_workers: int | None = None,
+) -> SortResult:
+    """Install *keys* as an input file on *system* and sort them.
+
+    The single-job driver refactored out of :func:`srm_sort` so that it
+    can run against a system the caller owns — in particular the
+    multi-tenant service's *shared* farm, where many of these drivers
+    interleave one parallel-I/O round at a time (gated through
+    ``system.round_hook``).  Input installation charges no I/O; all
+    accounting starts at the first ``ParRead``.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    infile = StripedFile.from_records(system, keys, payloads=payloads)
+    return srm_mergesort(
+        system,
+        infile,
+        config,
+        strategy=strategy,
+        rng=rng,
+        validate=validate,
+        run_length=run_length,
+        formation=formation,
+        overlap=overlap,
+        timing=timing,
+        merger=merger,
+        telemetry=telemetry,
+        merge_workers=merge_workers,
+    )
+
+
 def srm_sort(
     keys: np.ndarray,
     config: SRMConfig,
@@ -437,16 +485,16 @@ def srm_sort(
             system.timing = timing if timing is not None else DISK_1996
         demand_tracer = SystemTracer(collector, collector.new_domain("demand"))
         system.tracer = demand_tracer
-    infile = StripedFile.from_records(system, keys, payloads=payloads)
-    result = srm_mergesort(
+    result = sort_records_on_system(
         system,
-        infile,
+        keys,
         config,
         strategy=strategy,
         rng=rng,
         validate=validate,
         run_length=run_length,
         formation=formation,
+        payloads=payloads,
         overlap=overlap,
         timing=timing,
         merger=merger,

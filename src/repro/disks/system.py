@@ -100,6 +100,21 @@ class ParallelDiskSystem:
         #: .SystemTracer` or a cluster ``StagedTracer``): every charged
         #: clock advance emits one timeline record on the channel lane.
         self.tracer = None
+        #: Optional pre-operation hook called once at the top of every
+        #: charged stripe operation (read, charged read, write) *before*
+        #: any work happens.  The multi-tenant service installs a round
+        #: gate here: the hook blocks the calling job until the fairness
+        #: policy grants it the next parallel-I/O round, which is what
+        #: lets many sorts interleave on one shared system at round
+        #: granularity.  ``None`` (default) costs nothing.
+        self.round_hook = None
+        #: Optional secondary :class:`IOStats` mirror.  Every charged
+        #: operation recorded in :attr:`stats` is also recorded here.
+        #: The service points this at the granted job's private counters
+        #: for the duration of its round, giving exact per-job
+        #: accounting (and uncontaminated per-pass deltas inside the
+        #: driver) on a shared farm.  ``None`` (default) costs nothing.
+        self.stats_sink = None
         #: Fault injection state (see :meth:`attach_faults`).  ``None``
         #: keeps every I/O on the original fault-free fast path.
         self.faults = None
@@ -265,6 +280,16 @@ class ParallelDiskSystem:
                 f"parallel I/O may touch each disk at most once, got disks {list(disks)}"
             )
 
+    def _record_read(self, disks: list[int]) -> None:
+        self.stats.record_read(disks)
+        if self.stats_sink is not None:
+            self.stats_sink.record_read(disks)
+
+    def _record_write(self, disks: list[int]) -> None:
+        self.stats.record_write(disks)
+        if self.stats_sink is not None:
+            self.stats_sink.record_write(disks)
+
     def _advance_clock(self, n_active: int) -> None:
         if n_active <= 0:
             return
@@ -292,6 +317,10 @@ class ParallelDiskSystem:
         -------
         list of blocks positionally matching *addresses*.
         """
+        if self.round_hook is not None and any(
+            a is not None for a in addresses
+        ):
+            self.round_hook()
         if self.faults is not None:
             return self._read_stripe_faulty(addresses)
         live = [a for a in addresses if a is not None]
@@ -301,7 +330,7 @@ class ParallelDiskSystem:
         out: list[Optional[Block]] = []
         for a in addresses:
             out.append(None if a is None else self.disks[a.disk].read(a.slot))
-        self.stats.record_read([a.disk for a in live])
+        self._record_read([a.disk for a in live])
         t0 = self.elapsed_ms
         self._advance_clock(len(live))
         if self.trace is not None:
@@ -328,13 +357,15 @@ class ParallelDiskSystem:
         live = [a for a in addresses if a is not None]
         if not live:
             return
+        if self.round_hook is not None:
+            self.round_hook()
         self._check_one_per_disk([a.disk for a in live])
         for a in live:
             if not self.disks[a.disk].has_block(a.slot):
                 raise InvalidIOError(
                     f"disk {a.disk} slot {a.slot} holds no block"
                 )
-        self.stats.record_read([a.disk for a in live])
+        self._record_read([a.disk for a in live])
         t0 = self.elapsed_ms
         self._advance_clock(len(live))
         if self.trace is not None:
@@ -357,12 +388,14 @@ class ParallelDiskSystem:
         """
         if not writes:
             return []
+        if self.round_hook is not None:
+            self.round_hook()
         if self.faults is not None:
             return self._write_stripe_faulty(writes)
         self._check_one_per_disk([a.disk for a, _ in writes])
         for addr, block in writes:
             self.disks[addr.disk].write(addr.slot, block)
-        self.stats.record_write([a.disk for a, _ in writes])
+        self._record_write([a.disk for a, _ in writes])
         t0 = self.elapsed_ms
         self._advance_clock(len(writes))
         if self.trace is not None:
@@ -384,9 +417,9 @@ class ParallelDiskSystem:
         if not disks:
             return
         if kind == "read":
-            self.stats.record_read(disks)
+            self._record_read(disks)
         else:
-            self.stats.record_write(disks)
+            self._record_write(disks)
         t0 = self.elapsed_ms
         self._advance_clock(len(disks))
         if self.trace is not None:
@@ -602,7 +635,7 @@ class ParallelDiskSystem:
         addr = BlockAddress(d, self.disks[d].allocate())
         self.disks[d].write(addr.slot, pblk)
         if charged:
-            self.stats.record_write([d])
+            self._record_write([d])
             t0 = self.elapsed_ms
             self._advance_clock(1)
             if self.trace is not None:

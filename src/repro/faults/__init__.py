@@ -34,6 +34,7 @@ from .chaos import (
     default_scenarios,
     run_chaos,
     run_cluster_chaos,
+    run_service_chaos,
 )
 from .degraded import (
     DeathReport,
@@ -62,6 +63,7 @@ __all__ = [
     "default_scenarios",
     "run_chaos",
     "run_cluster_chaos",
+    "run_service_chaos",
     "DeathReport",
     "ScrubReport",
     "migrate_dead_disk",

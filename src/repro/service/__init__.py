@@ -1,0 +1,53 @@
+"""Multi-tenant sort service: many concurrent jobs, one shared disk farm.
+
+The ROADMAP's production north star: a job-queue + executor subsystem
+that serves many concurrent :func:`~repro.core.srm_sort`-equivalent
+jobs over one shared :class:`~repro.disks.ParallelDiskSystem`.  A
+5-phase admission pipeline (modeled on coreblocks' scheduler split:
+validate/quota -> tenant sub-pool reservation -> queue slot -> select
+-> dispatch) feeds a round-interleaving executor: each scheduling
+quantum a fairness policy picks which job's next ParRead/flush round
+runs on the shared disks.  Every tenant's output, ScheduleStats, and
+IOStats stay bit-identical to a solo ``srm_sort`` with the same seed —
+contention moves *when* rounds run, never *what* they do.
+"""
+
+from .admission import ADMIT, PHASES, REJECT, WAIT, AdmissionPipeline
+from .driver import JobAborted, JobDriver, RoundGate
+from .executor import ServiceConfig, SortService, run_arrival_script
+from .jobs import JobSpec, ServiceJob, TenantSpec
+from .policy import (
+    POLICIES,
+    FairnessPolicy,
+    RoundRobinPolicy,
+    ShortestRemainingIOPolicy,
+    WeightedFairPolicy,
+    make_policy,
+)
+from .report import JobReport, ServiceResult, solo_reference
+
+__all__ = [
+    "ADMIT",
+    "PHASES",
+    "REJECT",
+    "WAIT",
+    "AdmissionPipeline",
+    "JobAborted",
+    "JobDriver",
+    "RoundGate",
+    "ServiceConfig",
+    "SortService",
+    "run_arrival_script",
+    "JobSpec",
+    "ServiceJob",
+    "TenantSpec",
+    "POLICIES",
+    "FairnessPolicy",
+    "RoundRobinPolicy",
+    "ShortestRemainingIOPolicy",
+    "WeightedFairPolicy",
+    "make_policy",
+    "JobReport",
+    "ServiceResult",
+    "solo_reference",
+]

@@ -1,0 +1,147 @@
+"""The service's 5-phase admission pipeline.
+
+Modeled on the split-phase scheduler idiom (validate / allocate /
+enqueue / select / dispatch, cf. coreblocks' scheduler decomposition in
+SNIPPETS.md): each phase either advances a job or parks it with a
+precise reason, and a phase that fails after a predecessor acquired a
+resource rolls that resource back so admission stays atomic.
+
+Phases::
+
+    1. validate  — geometry matches the farm; the job's frame demand
+                   fits its tenant's quota *at all* (else: rejected,
+                   quota_violation event).
+    2. reserve   — carve the frames out of the tenant partition
+                   (else: wait).
+    3. slot      — acquire one of the bounded queue slots (else: roll
+                   back the reservation, wait).
+    4. select    — per quantum, the fairness policy picks among
+                   admitted jobs (executor-side, :mod:`.policy`).
+    5. dispatch  — the executor grants the chosen job one round
+                   (executor-side, :mod:`.executor`).
+
+Phases 1–3 live here; this class owns the tenant pool and the slot
+budget and is the only code path that reserves or releases either.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..memory.pool import ServicePool
+from ..telemetry import TELEMETRY_OFF
+from ..telemetry.schema import (
+    EV_QUOTA_VIOLATION,
+    SERVICE_JOBS_ADMITTED,
+    SERVICE_JOBS_REJECTED,
+    SERVICE_QUOTA_WAITS,
+)
+from .jobs import ServiceJob
+
+PHASES = ("validate", "reserve", "slot", "select", "dispatch")
+
+#: Admission outcomes for phases 1–3.
+ADMIT = "admit"
+WAIT = "wait"
+REJECT = "reject"
+
+
+class AdmissionPipeline:
+    """Phases 1–3: validate, reserve tenant frames, acquire a slot."""
+
+    def __init__(
+        self,
+        pool: ServicePool,
+        n_disks: int,
+        block_size: int,
+        max_slots: int,
+        telemetry=None,
+    ) -> None:
+        if max_slots < 1:
+            raise ConfigError(f"need at least one queue slot, got {max_slots}")
+        self.pool = pool
+        self.n_disks = n_disks
+        self.block_size = block_size
+        self.max_slots = max_slots
+        self._free_slots = list(range(max_slots - 1, -1, -1))
+        self.tel = telemetry if telemetry is not None else TELEMETRY_OFF
+        self._admitted = 0
+
+    @property
+    def slots_in_use(self) -> int:
+        return self.max_slots - len(self._free_slots)
+
+    def try_admit(self, job: ServiceJob) -> str:
+        """Run phases 1–3 for *job*; returns ADMIT, WAIT, or REJECT.
+
+        On ADMIT the job holds its frames and a slot and carries its
+        ``admission_index``.  On WAIT nothing is held (a reservation
+        made in phase 2 is rolled back if phase 3 finds no slot).  On
+        REJECT the job can never run and ``job.error`` says why.
+        """
+        spec = job.spec
+
+        # Phase 1: validate geometry and quota feasibility.
+        if (
+            spec.config.n_disks != self.n_disks
+            or spec.config.block_size != self.block_size
+        ):
+            return self._reject(
+                job,
+                f"geometry mismatch: job wants D={spec.config.n_disks} "
+                f"B={spec.config.block_size}, farm has D={self.n_disks} "
+                f"B={self.block_size}",
+            )
+        try:
+            part = self.pool.partition(spec.tenant)
+        except ConfigError as exc:
+            return self._reject(job, str(exc))
+        frames = spec.frames_needed
+        if not part.fits(frames):
+            self.tel.event(
+                EV_QUOTA_VIOLATION,
+                job=spec.job_id,
+                tenant=spec.tenant,
+                frames_needed=frames,
+                quota_frames=part.capacity_frames,
+            )
+            return self._reject(
+                job,
+                f"quota violation: job needs {frames} frames, tenant "
+                f"{spec.tenant!r} quota is {part.capacity_frames}",
+            )
+
+        # Phase 2: reserve the frames from the tenant's carve-out.
+        if not part.try_reserve(frames):
+            job.quota_waits += 1
+            self.tel.counter(SERVICE_QUOTA_WAITS).inc()
+            return WAIT
+
+        # Phase 3: acquire a queue slot; roll the reservation back if
+        # none is free so a parked job holds nothing.
+        if not self._free_slots:
+            part.release(frames)
+            job.quota_waits += 1
+            self.tel.counter(SERVICE_QUOTA_WAITS).inc()
+            return WAIT
+
+        job.reserved_frames = frames
+        job.slot = self._free_slots.pop()
+        job.weight = part.weight
+        job.admission_index = self._admitted
+        self._admitted += 1
+        self.tel.counter(SERVICE_JOBS_ADMITTED).inc()
+        return ADMIT
+
+    def release(self, job: ServiceJob) -> None:
+        """Return a finished/aborted job's frames and slot (exactly once)."""
+        if job.reserved_frames:
+            self.pool.partition(job.tenant).release(job.reserved_frames)
+            job.reserved_frames = 0
+        if job.slot is not None:
+            self._free_slots.append(job.slot)
+            job.slot = None
+
+    def _reject(self, job: ServiceJob, reason: str) -> str:
+        job.error = reason
+        self.tel.counter(SERVICE_JOBS_REJECTED).inc()
+        return REJECT

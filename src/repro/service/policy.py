@@ -1,0 +1,144 @@
+"""Fairness policies: which runnable job gets the next I/O round.
+
+The shared farm serializes parallel-I/O rounds on one clock, so the
+*only* lever a policy has is the order of rounds — it can trade p50/p95
+completion time between tenants but never changes aggregate throughput
+(the executor is work-conserving) or any job's output.
+
+Three disciplines:
+
+* ``rr`` — round-robin over admission order: each runnable job gets one
+  round per cycle.
+* ``wfq`` — weighted-fair queueing over *tenants*: each tenant carries
+  a virtual time advanced by ``1/weight`` per round; the tenant with
+  the smallest virtual time goes next.  For two continuously backlogged
+  tenants the normalized service gap stays within the classic bound
+  ``|r_a/w_a - r_b/w_b| <= 1/w_a + 1/w_b``.
+* ``srpt`` — shortest-remaining-I/O first: jobs ranked by a geometry
+  estimate of the ParRead/flush rounds left, favoring small jobs to
+  minimize mean completion time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from .jobs import JobSpec, ServiceJob
+
+POLICIES = ("rr", "wfq", "srpt")
+
+
+class FairnessPolicy:
+    """Interface the executor drives once per scheduling quantum."""
+
+    name = "?"
+
+    def on_admit(self, job: ServiceJob) -> None:
+        """A job entered the runnable set."""
+
+    def select(self, runnable: list[ServiceJob]) -> ServiceJob:
+        """Pick the job whose next round runs (*runnable* is non-empty)."""
+        raise NotImplementedError
+
+    def on_round(self, job: ServiceJob) -> None:
+        """One charged round of *job* just completed."""
+
+
+class RoundRobinPolicy(FairnessPolicy):
+    """Cycle through runnable jobs in admission order."""
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def select(self, runnable: list[ServiceJob]) -> ServiceJob:
+        ordered = sorted(runnable, key=lambda j: j.admission_index)
+        for job in ordered:
+            if job.admission_index > self._last:
+                self._last = job.admission_index
+                return job
+        job = ordered[0]  # wrap the cycle
+        self._last = job.admission_index
+        return job
+
+
+class WeightedFairPolicy(FairnessPolicy):
+    """Tenant-level WFQ: smallest virtual time goes next.
+
+    A tenant (re)entering the backlog starts at the current minimum
+    active virtual time, so it cannot monopolize the farm "catching up"
+    on rounds it never requested.  Within a tenant, jobs run in
+    admission order.
+    """
+
+    name = "wfq"
+
+    def __init__(self) -> None:
+        self._vt: dict[str, float] = {}
+
+    def select(self, runnable: list[ServiceJob]) -> ServiceJob:
+        active = {j.tenant for j in runnable}
+        known = [self._vt[t] for t in active if t in self._vt]
+        floor = min(known) if known else 0.0
+        for t in active:
+            self._vt[t] = max(self._vt.get(t, floor), floor)
+        tenant = min(active, key=lambda t: (self._vt[t], t))
+        candidates = [j for j in runnable if j.tenant == tenant]
+        return min(candidates, key=lambda j: j.admission_index)
+
+    def on_round(self, job: ServiceJob) -> None:
+        self._vt[job.tenant] = self._vt.get(job.tenant, 0.0) + 1.0 / job.weight
+
+    def virtual_time(self, tenant: str) -> float:
+        return self._vt.get(tenant, 0.0)
+
+
+class ShortestRemainingIOPolicy(FairnessPolicy):
+    """Rank jobs by estimated parallel-I/O rounds still to run."""
+
+    name = "srpt"
+
+    def select(self, runnable: list[ServiceJob]) -> ServiceJob:
+        return min(
+            runnable,
+            key=lambda j: (
+                max(estimate_total_rounds(j.spec) - j.rounds, 0),
+                j.admission_index,
+            ),
+        )
+
+
+def estimate_total_rounds(spec: JobSpec) -> int:
+    """Geometry estimate of a job's total charged stripe operations.
+
+    Every pass (run formation + each merge pass) reads and writes each
+    block once; with perfect striping that is ``2 * ceil(blocks / D)``
+    rounds per pass.  SRM's randomized reads add the occupancy overhead
+    ``v`` on top, so this undershoots slightly — fine for ranking, which
+    only needs relative order.
+    """
+    cfg = spec.config
+    n_blocks = math.ceil(spec.n_records / cfg.block_size)
+    rounds_per_pass = 2 * math.ceil(n_blocks / cfg.n_disks)
+    length = spec.run_length if spec.run_length is not None else cfg.memory_records
+    n_runs = math.ceil(spec.n_records / length)
+    merge_passes = (
+        0 if n_runs <= 1 else math.ceil(math.log(n_runs, cfg.merge_order))
+    )
+    return (1 + merge_passes) * rounds_per_pass
+
+
+def make_policy(name: str) -> FairnessPolicy:
+    """Instantiate a fairness policy by name (accepts common aliases)."""
+    key = name.lower().replace("_", "-")
+    if key in ("rr", "round-robin"):
+        return RoundRobinPolicy()
+    if key in ("wfq", "weighted-fair"):
+        return WeightedFairPolicy()
+    if key in ("srpt", "shortest-io", "shortest-remaining-io"):
+        return ShortestRemainingIOPolicy()
+    raise ConfigError(
+        f"unknown fairness policy {name!r}; choose from {POLICIES}"
+    )

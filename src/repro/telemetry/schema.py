@@ -37,6 +37,8 @@ __all__ = [
     "SPAN_PMERGE_PARTITION",
     "SPAN_PMERGE_WORKERS",
     "SPAN_PMERGE_STITCH",
+    "SPAN_SERVICE",
+    "SPAN_SERVICE_JOB",
     "IO_PARALLEL_READS",
     "IO_PARALLEL_WRITES",
     "IO_BLOCKS_READ",
@@ -90,12 +92,23 @@ __all__ = [
     "PMERGE_RECORDS",
     "PMERGE_PARTITION_PROBES",
     "PMERGE_GHOST_ROUNDS",
+    "SERVICE_JOBS_SUBMITTED",
+    "SERVICE_JOBS_ADMITTED",
+    "SERVICE_JOBS_COMPLETED",
+    "SERVICE_JOBS_REJECTED",
+    "SERVICE_JOBS_ABORTED",
+    "SERVICE_ROUNDS_DISPATCHED",
+    "SERVICE_QUOTA_WAITS",
+    "SERVICE_IDLE_MS",
     "H_FAULT_BACKOFF",
+    "H_SERVICE_JOB_ROUNDS",
     "EV_OVERLAP_DISKS",
     "EV_DISK_DEATH",
     "EV_NODE_LOSS",
     "EV_EXCHANGE_ROUND",
     "EV_PMERGE_WORKER",
+    "EV_QUOTA_VIOLATION",
+    "EV_JOB_ABORTED",
     "read_width_edges",
     "occupancy_edges",
     "run_length_edges",
@@ -132,6 +145,12 @@ SPAN_PMERGE = "pmerge"
 SPAN_PMERGE_PARTITION = "pmerge_partition"
 SPAN_PMERGE_WORKERS = "pmerge_workers"
 SPAN_PMERGE_STITCH = "pmerge_stitch"
+
+# Multi-tenant sort service (``repro serve``): the root span of one
+# service run, and one child span per job covering admission through
+# completion (attrs carry tenant, rounds, and the per-job I/O counts).
+SPAN_SERVICE = "service"
+SPAN_SERVICE_JOB = "service_job"
 
 # -- counters --------------------------------------------------------------
 
@@ -246,6 +265,26 @@ PMERGE_PARTITION_PROBES = "pmerge.partition_probes"
 #: stream (one per drain round; ~= merge ParReads + 1).
 PMERGE_GHOST_ROUNDS = "pmerge.ghost_rounds"
 
+# Multi-tenant service counters (``service.*``).  All zero outside
+# ``repro serve`` / ``SortService`` runs.
+
+#: Jobs submitted to the service (every arrival, admitted or not).
+SERVICE_JOBS_SUBMITTED = "service.jobs_submitted"
+#: Jobs that cleared all three admission phases and got a driver.
+SERVICE_JOBS_ADMITTED = "service.jobs_admitted"
+#: Jobs that ran to completion.
+SERVICE_JOBS_COMPLETED = "service.jobs_completed"
+#: Jobs rejected at admission (quota violation or bad geometry).
+SERVICE_JOBS_REJECTED = "service.jobs_rejected"
+#: Jobs cancelled mid-flight; their frames and slot were reclaimed.
+SERVICE_JOBS_ABORTED = "service.jobs_aborted"
+#: Parallel-I/O rounds granted by the dispatcher (phase 5).
+SERVICE_ROUNDS_DISPATCHED = "service.rounds_dispatched"
+#: Admission retries spent waiting for tenant frames or a queue slot.
+SERVICE_QUOTA_WAITS = "service.quota_waits"
+#: Simulated time the shared farm idled with no runnable job.
+SERVICE_IDLE_MS = "service.idle_ms"
+
 # -- histograms ------------------------------------------------------------
 
 #: Blocks moved per parallel read (Theorem 1's parallelism; <= D).
@@ -265,6 +304,8 @@ H_WRITER_OCCUPANCY = "writer.buffered_blocks"
 H_OVERLAP_QUEUE_DEPTH = "overlap.queue_depth"
 #: Backoff delay charged per retry, in ms (capped exponential).
 H_FAULT_BACKOFF = "faults.backoff_ms"
+#: Parallel-I/O rounds per completed service job.
+H_SERVICE_JOB_ROUNDS = "service.job_rounds"
 
 # -- point events ----------------------------------------------------------
 
@@ -283,6 +324,12 @@ EV_EXCHANGE_ROUND = "exchange_round"
 #: One parallel-merge worker finished its range drain; attrs carry the
 #: worker index, records merged, and wall-clock drain seconds.
 EV_PMERGE_WORKER = "pmerge_worker"
+#: A job asked for more frames than its tenant's quota can ever hold;
+#: attrs carry the job, tenant, need, and quota.
+EV_QUOTA_VIOLATION = "quota_violation"
+#: A job was cancelled mid-flight; attrs carry the job, tenant, and the
+#: rounds it had consumed.
+EV_JOB_ABORTED = "job_aborted"
 
 
 # -- bucket layouts --------------------------------------------------------

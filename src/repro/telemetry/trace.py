@@ -242,13 +242,18 @@ class NetTracer:
     path names the fault, not just a longer read.
     """
 
-    __slots__ = ("collector", "domain", "issuer_dep", "last_batch", "_tail")
+    __slots__ = (
+        "collector", "domain", "issuer_dep", "last_batch", "_tail", "context",
+    )
 
     def __init__(self, collector: TraceCollector, domain: str) -> None:
         self.collector = collector
         self.domain = domain
         #: Set by the issuing side before each ``ServiceNetwork.submit``.
         self.issuer_dep: int | None = None
+        #: Optional attrs merged into every op record (e.g. ``{"job":
+        #: "t0-j1", "tenant": "t0"}``) so queued ops decompose per job.
+        self.context: dict | None = None
         #: Record index of the final record of each op in the last batch,
         #: positionally matching the submitted ``disk_ids``.
         self.last_batch: list[int] = []
@@ -283,7 +288,10 @@ class NetTracer:
                 issue_ms, candidate, not_before, dep=dep,
             )
         mid = start + core_ms
-        rec = col.add(kind, lane, self.domain, issue_ms, start, mid, dep=dep)
+        rec = col.add(
+            kind, lane, self.domain, issue_ms, start, mid, dep=dep,
+            attrs=dict(self.context) if self.context else None,
+        )
         if service_ms != core_ms:
             # Retry penalties + charged recovery block-ops tail the op.
             rec = col.add(
@@ -312,21 +320,42 @@ class SystemTracer:
     charged stripe op, parity write, and backoff extends one global
     timeline — so the trace is a single ``channel`` lane whose records
     tile ``[0, elapsed_ms]`` exactly, each depending on the previous.
+
+    ``context`` tags every record with extra attrs; the multi-tenant
+    service sets it to the granted job's ``{"job", "tenant"}`` before
+    each round, which is what lets the critical-path attribution
+    decompose the shared makespan per tenant.  :meth:`idle` records the
+    gaps the service spends waiting for the next arrival, so the tagged
+    timeline still tiles ``[0, makespan]`` exactly.
     """
 
-    __slots__ = ("collector", "domain", "_tail")
+    __slots__ = ("collector", "domain", "_tail", "context")
 
     def __init__(self, collector: TraceCollector, domain: str) -> None:
         self.collector = collector
         self.domain = domain
         self._tail: int | None = None
+        #: Optional attrs merged into every record (service job tags).
+        self.context: dict | None = None
 
     def op(self, kind: str, n_disks: int, t0: float, t1: float) -> None:
         if t1 == t0:
             return
+        attrs = {"disks": n_disks} if n_disks else {}
+        if self.context:
+            attrs.update(self.context)
         self._tail = self.collector.add(
             kind, "channel", self.domain, t0, t0, t1, dep=self._tail,
-            attrs={"disks": n_disks} if n_disks else None,
+            attrs=attrs or None,
+        )
+
+    def idle(self, t0: float, t1: float) -> None:
+        """Record a service idle gap (no runnable job) as a stall."""
+        if t1 == t0:
+            return
+        self._tail = self.collector.add(
+            "idle", "channel", self.domain, t0, t0, t1, dep=self._tail,
+            cat="stall", attrs={"tenant": "(idle)"},
         )
 
     def finish(self, makespan_ms: float, exact: bool = True) -> None:

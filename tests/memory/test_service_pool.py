@@ -1,0 +1,116 @@
+"""Hardening tests for the multi-tenant memory carve-outs
+(TenantPartition / ServicePool), including the double-free bug class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ScheduleError
+from repro.memory.pool import ServicePool, TenantPartition
+
+
+class TestTenantPartition:
+    def test_reserve_release_roundtrip(self):
+        part = TenantPartition("t0", 40)
+        assert part.try_reserve(24)
+        assert part.reserved_frames == 24 and part.free_frames == 16
+        part.release(24)
+        assert part.reserved_frames == 0 and part.free_frames == 40
+
+    def test_reserve_beyond_free_waits_not_raises(self):
+        part = TenantPartition("t0", 40)
+        assert part.try_reserve(30)
+        assert not part.try_reserve(11)  # must wait
+        assert part.reserved_frames == 30  # failed attempt holds nothing
+
+    def test_reserve_beyond_capacity_is_quota_violation(self):
+        part = TenantPartition("t0", 40)
+        with pytest.raises(ConfigError, match="never run"):
+            part.try_reserve(41)
+
+    def test_double_free_raises(self):
+        # Regression for the classic bug: a job released twice must not
+        # mint frames out of thin air.
+        part = TenantPartition("t0", 40)
+        part.try_reserve(24)
+        part.release(24)
+        with pytest.raises(ScheduleError, match="double free"):
+            part.release(24)
+        assert part.reserved_frames == 0
+
+    def test_partial_over_release_raises(self):
+        part = TenantPartition("t0", 40)
+        part.try_reserve(10)
+        with pytest.raises(ScheduleError):
+            part.release(11)
+        assert part.reserved_frames == 10
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            TenantPartition("", 40)
+        with pytest.raises(ConfigError):
+            TenantPartition("t0", 0)
+        with pytest.raises(ConfigError):
+            TenantPartition("t0", 40, weight=0.0)
+
+    def test_invalid_amounts(self):
+        part = TenantPartition("t0", 40)
+        with pytest.raises(ConfigError):
+            part.try_reserve(0)
+        with pytest.raises(ConfigError):
+            part.release(-1)
+
+    def test_close_requires_everything_back(self):
+        part = TenantPartition("t0", 40)
+        part.try_reserve(8)
+        with pytest.raises(ScheduleError, match="still reserved"):
+            part.close()
+        part.release(8)
+        part.close()
+        assert part.closed
+        # Every transition on a closed partition is a use-after-free.
+        for op in (
+            lambda: part.try_reserve(1),
+            lambda: part.release(0),
+            lambda: part.close(),
+        ):
+            with pytest.raises(ScheduleError):
+                op()
+
+
+class TestServicePool:
+    def test_partitions_are_isolated(self):
+        pool = ServicePool()
+        a = pool.create_partition("a", 40)
+        b = pool.create_partition("b", 20)
+        a.try_reserve(40)
+        # a being full never eats into b.
+        assert b.try_reserve(20)
+        assert pool.reserved_frames == 60
+        assert pool.total_frames == 60
+        assert pool.tenants == ["a", "b"]
+
+    def test_duplicate_tenant_raises(self):
+        pool = ServicePool()
+        pool.create_partition("a", 40)
+        with pytest.raises(ConfigError):
+            pool.create_partition("a", 40)
+
+    def test_unknown_tenant_raises(self):
+        with pytest.raises(ConfigError):
+            ServicePool().partition("ghost")
+
+    def test_remove_partition_closes_it(self):
+        pool = ServicePool()
+        part = pool.create_partition("a", 40)
+        pool.remove_partition("a")
+        assert part.closed
+        with pytest.raises(ConfigError):
+            pool.partition("a")
+
+    def test_remove_with_outstanding_reservation_raises(self):
+        pool = ServicePool()
+        pool.create_partition("a", 40).try_reserve(5)
+        with pytest.raises(ScheduleError):
+            pool.remove_partition("a")
+        assert "a" in pool.tenants  # still there, still accounted

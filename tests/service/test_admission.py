@@ -1,0 +1,119 @@
+"""Tests for the 5-phase admission pipeline (phases 1-3 live here)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SRMConfig
+from repro.errors import ConfigError
+from repro.memory.pool import ServicePool
+from repro.service import ADMIT, PHASES, REJECT, WAIT, AdmissionPipeline
+from repro.service.jobs import JobSpec, ServiceJob
+
+CFG = SRMConfig.from_k(2, 2, 8)
+FRAMES = JobSpec(
+    job_id="probe", tenant="t0", keys=np.arange(10), config=CFG
+).frames_needed
+
+
+def make_job(job_id="j0", tenant="t0", config=CFG):
+    spec = JobSpec(
+        job_id=job_id, tenant=tenant, keys=np.arange(100), config=config
+    )
+    return ServiceJob(spec=spec)
+
+
+def make_pipeline(quota_frames=4 * FRAMES, max_slots=4, weight=1.5):
+    pool = ServicePool()
+    pool.create_partition("t0", quota_frames, weight=weight)
+    pipeline = AdmissionPipeline(
+        pool, CFG.n_disks, CFG.block_size, max_slots=max_slots
+    )
+    return pool, pipeline
+
+
+class TestPhases:
+    def test_phase_names(self):
+        assert PHASES == ("validate", "reserve", "slot", "select", "dispatch")
+
+    def test_admit_holds_frames_slot_weight_index(self):
+        pool, pipeline = make_pipeline()
+        job = make_job()
+        assert pipeline.try_admit(job) == ADMIT
+        assert job.reserved_frames == FRAMES
+        assert pool.partition("t0").reserved_frames == FRAMES
+        assert job.slot is not None
+        assert job.weight == 1.5
+        assert job.admission_index == 0
+        assert pipeline.slots_in_use == 1
+
+
+class TestValidate:
+    def test_geometry_mismatch_rejects(self):
+        _, pipeline = make_pipeline()
+        job = make_job(config=SRMConfig.from_k(2, 4, 8))
+        assert pipeline.try_admit(job) == REJECT
+        assert "geometry" in job.error
+
+    def test_unknown_tenant_rejects(self):
+        _, pipeline = make_pipeline()
+        job = make_job(tenant="nobody")
+        assert pipeline.try_admit(job) == REJECT
+
+    def test_quota_violation_rejects_not_waits(self):
+        # A job that could NEVER fit must reject immediately, not queue
+        # forever.
+        _, pipeline = make_pipeline(quota_frames=FRAMES - 1)
+        job = make_job()
+        assert pipeline.try_admit(job) == REJECT
+        assert "quota" in job.error
+
+
+class TestReserveAndSlot:
+    def test_wait_on_exhausted_frames(self):
+        pool, pipeline = make_pipeline(quota_frames=FRAMES)
+        first, second = make_job("j0"), make_job("j1")
+        assert pipeline.try_admit(first) == ADMIT
+        assert pipeline.try_admit(second) == WAIT
+        assert second.quota_waits == 1
+        assert second.reserved_frames == 0
+
+    def test_slot_failure_rolls_back_reservation(self):
+        # Phase 3 failing must undo phase 2: a parked job holds nothing.
+        pool, pipeline = make_pipeline(max_slots=1)
+        first, second = make_job("j0"), make_job("j1")
+        assert pipeline.try_admit(first) == ADMIT
+        reserved_before = pool.partition("t0").reserved_frames
+        assert pipeline.try_admit(second) == WAIT
+        assert pool.partition("t0").reserved_frames == reserved_before
+        assert second.slot is None
+        assert second.quota_waits == 1
+
+    def test_release_returns_frames_and_slot_exactly_once(self):
+        pool, pipeline = make_pipeline()
+        job = make_job()
+        pipeline.try_admit(job)
+        pipeline.release(job)
+        assert pool.partition("t0").reserved_frames == 0
+        assert pipeline.slots_in_use == 0
+        assert job.reserved_frames == 0 and job.slot is None
+        # Second release is a no-op, not a double free.
+        pipeline.release(job)
+        assert pool.partition("t0").reserved_frames == 0
+        assert pipeline.slots_in_use == 0
+
+    def test_waiter_admits_after_release(self):
+        pool, pipeline = make_pipeline(quota_frames=FRAMES)
+        first, second = make_job("j0"), make_job("j1")
+        pipeline.try_admit(first)
+        assert pipeline.try_admit(second) == WAIT
+        pipeline.release(first)
+        assert pipeline.try_admit(second) == ADMIT
+        assert second.admission_index == 1
+
+    def test_needs_at_least_one_slot(self):
+        pool = ServicePool()
+        pool.create_partition("t0", FRAMES)
+        with pytest.raises(ConfigError):
+            AdmissionPipeline(pool, CFG.n_disks, CFG.block_size, max_slots=0)

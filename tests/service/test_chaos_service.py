@@ -1,0 +1,47 @@
+"""Service scenarios in the chaos harness: blast-radius containment.
+
+Faults on the shared farm land on whichever tenant's round is running,
+so the contract here is isolation — every tenant completes with sorted,
+uncorrupted output — not solo bit-identity (the interleaving shifts
+which ops the seeded fault stream hits).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import run_service_chaos
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_service_chaos(
+        n_jobs=3, n_disks=4, k=2, block_size=16, seed=7
+    )
+
+
+def test_both_scenarios_pass(sweep):
+    assert {r.scenario for r in sweep} == {
+        "service_transient",
+        "service_death",
+    }
+    for r in sweep:
+        assert r.ok, (r.scenario, r.error, r.stats)
+        assert r.algorithm == "service"
+        assert r.identical  # every tenant sorted + uncorrupted
+        assert r.stats["jobs_completed"] == 3
+        assert r.stats["undetected_corruptions"] == 0
+
+
+def test_transient_faults_absorbed_by_retries(sweep):
+    (transient,) = [r for r in sweep if r.scenario == "service_transient"]
+    assert transient.stats["transient_failures"] > 0
+    assert transient.stats["retries"] > 0
+
+
+def test_disk_death_charges_recovery_but_spares_neighbors(sweep):
+    (death,) = [r for r in sweep if r.scenario == "service_death"]
+    assert death.stats["disk_deaths"] == 1
+    # Degraded-mode reads are charged: a dead disk is never free.
+    assert death.io_overhead_pct > 0
+    assert death.stats["n_tenants"] == 2

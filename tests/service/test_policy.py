@@ -1,0 +1,138 @@
+"""Unit tests for the fairness policies (selection order only —
+bit-identity under every policy is covered by test_service)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SRMConfig
+from repro.errors import ConfigError
+from repro.service import (
+    POLICIES,
+    JobSpec,
+    RoundRobinPolicy,
+    ServiceJob,
+    ShortestRemainingIOPolicy,
+    WeightedFairPolicy,
+    make_policy,
+)
+from repro.service.policy import estimate_total_rounds
+
+
+def make_job(job_id, tenant, index, weight=1.0, n=400, seed=1):
+    cfg = SRMConfig.from_k(2, 2, 8)
+    keys = np.random.default_rng(seed).integers(0, 2**40, size=n)
+    job = ServiceJob(
+        spec=JobSpec(job_id=job_id, tenant=tenant, keys=keys, config=cfg)
+    )
+    job.admission_index = index
+    job.weight = weight
+    return job
+
+
+class TestMakePolicy:
+    def test_names_and_aliases(self):
+        for name, cls in [
+            ("rr", RoundRobinPolicy),
+            ("round-robin", RoundRobinPolicy),
+            ("wfq", WeightedFairPolicy),
+            ("weighted_fair", WeightedFairPolicy),
+            ("srpt", ShortestRemainingIOPolicy),
+            ("shortest-io", ShortestRemainingIOPolicy),
+        ]:
+            assert isinstance(make_policy(name), cls)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigError):
+            make_policy("fifo")
+
+    def test_policies_tuple_all_constructible(self):
+        for name in POLICIES:
+            assert make_policy(name).name == name
+
+
+class TestRoundRobin:
+    def test_cycles_in_admission_order(self):
+        jobs = [make_job(f"j{i}", "t0", i) for i in range(3)]
+        policy = RoundRobinPolicy()
+        picks = [policy.select(jobs).job_id for _ in range(7)]
+        assert picks == ["j0", "j1", "j2", "j0", "j1", "j2", "j0"]
+
+    def test_skips_departed_jobs(self):
+        jobs = [make_job(f"j{i}", "t0", i) for i in range(3)]
+        policy = RoundRobinPolicy()
+        assert policy.select(jobs).job_id == "j0"
+        remaining = [jobs[0], jobs[2]]  # j1 finished
+        assert policy.select(remaining).job_id == "j2"
+        assert policy.select(remaining).job_id == "j0"
+
+
+class TestWeightedFair:
+    def test_backlogged_lag_bound(self):
+        # Two always-backlogged tenants, weights 2:1.  WFQ's classic
+        # bound: the weight-normalized service gap never exceeds
+        # 1/w_a + 1/w_b at any point in the schedule.
+        a = make_job("a0", "a", 0, weight=2.0)
+        b = make_job("b0", "b", 1, weight=1.0)
+        policy = WeightedFairPolicy()
+        rounds = {"a": 0, "b": 0}
+        bound = 1.0 / a.weight + 1.0 / b.weight
+        for _ in range(300):
+            job = policy.select([a, b])
+            policy.on_round(job)
+            job.rounds += 1
+            rounds[job.tenant] += 1
+            gap = abs(rounds["a"] / a.weight - rounds["b"] / b.weight)
+            assert gap <= bound + 1e-12
+        # Long-run shares track the weights.
+        assert rounds["a"] / rounds["b"] == pytest.approx(2.0, rel=0.05)
+
+    def test_late_arrival_starts_at_active_floor(self):
+        # Tenant b joins after a has run 50 rounds; b must not get 50
+        # catch-up rounds in a row — its virtual time starts at the
+        # current active minimum.
+        a = make_job("a0", "a", 0)
+        b = make_job("b0", "b", 1)
+        policy = WeightedFairPolicy()
+        for _ in range(50):
+            policy.on_round(policy.select([a]))
+        first_20 = []
+        for _ in range(20):
+            job = policy.select([a, b])
+            policy.on_round(job)
+            first_20.append(job.tenant)
+        assert first_20.count("b") <= 11  # alternation, not monopoly
+
+    def test_within_tenant_admission_order(self):
+        j0 = make_job("j0", "t", 0)
+        j1 = make_job("j1", "t", 1)
+        policy = WeightedFairPolicy()
+        assert policy.select([j1, j0]).job_id == "j0"
+
+
+class TestShortestRemaining:
+    def test_prefers_smaller_job(self):
+        small = make_job("small", "t0", 1, n=200)
+        big = make_job("big", "t1", 0, n=2_000)
+        policy = ShortestRemainingIOPolicy()
+        assert policy.select([big, small]).job_id == "small"
+
+    def test_remaining_shrinks_with_granted_rounds(self):
+        a = make_job("a", "t0", 0, n=1_000)
+        b = make_job("b", "t1", 1, n=1_000, seed=2)
+        a.rounds = estimate_total_rounds(a.spec) - 1  # nearly done
+        policy = ShortestRemainingIOPolicy()
+        assert policy.select([b, a]).job_id == "a"
+
+    def test_estimate_monotone_in_records(self):
+        cfg = SRMConfig.from_k(2, 2, 8)
+        sizes = [100, 500, 2_000, 10_000]
+        estimates = [
+            estimate_total_rounds(
+                JobSpec(job_id="j", tenant="t", keys=np.arange(n), config=cfg)
+            )
+            for n in sizes
+        ]
+        assert estimates == sorted(estimates)
+        assert estimates[0] < estimates[-1]

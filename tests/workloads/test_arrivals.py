@@ -1,0 +1,127 @@
+"""Property tests for the seeded job-arrival generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    JobArrival,
+    batch_arrivals,
+    bursty_arrivals,
+    dump_arrivals,
+    load_arrivals,
+    poisson_arrivals,
+)
+
+GENERATORS = [
+    lambda rng: poisson_arrivals(10, rate_per_s=50.0, n_tenants=3, rng=rng),
+    lambda rng: bursty_arrivals(
+        10, burst_size=4, burst_gap_ms=500.0, n_tenants=3, rng=rng
+    ),
+    lambda rng: batch_arrivals(10, n_tenants=3, rng=rng),
+]
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+class TestCommonProperties:
+    def test_deterministic_for_fixed_seed(self, gen):
+        assert gen(42) == gen(42)
+
+    def test_different_seeds_differ(self, gen):
+        assert gen(42) != gen(43)
+
+    def test_sorted_by_time_then_id(self, gen):
+        rows = gen(7)
+        keys = [(a.arrival_ms, a.job_id) for a in rows]
+        assert keys == sorted(keys)
+
+    def test_every_tenant_participates_and_ids_unique(self, gen):
+        rows = gen(7)
+        assert {a.tenant for a in rows} == {"t0", "t1", "t2"}
+        assert len({a.job_id for a in rows}) == len(rows)
+
+    def test_sizes_within_range_and_nonneg_times(self, gen):
+        for a in gen(7):
+            assert 500 <= a.n_records <= 2_000
+            assert a.arrival_ms >= 0.0
+            assert a.weight == 1.0
+
+
+class TestShapes:
+    def test_batch_all_at_time_zero(self):
+        assert all(a.arrival_ms == 0.0 for a in batch_arrivals(6, rng=1))
+
+    def test_bursty_gap_between_bursts(self):
+        rows = bursty_arrivals(
+            8, burst_size=4, burst_gap_ms=1_000.0, within_gap_ms=1.0, rng=1
+        )
+        times = sorted(a.arrival_ms for a in rows)
+        # Jobs within a burst land within ~burst_size ms; the two bursts
+        # are >= 1000 ms apart.
+        assert times[3] - times[0] <= 4.0
+        assert times[4] - times[3] >= 1_000.0
+
+    def test_poisson_mean_gap_tracks_rate(self):
+        rows = poisson_arrivals(400, rate_per_s=100.0, rng=5)
+        times = [a.arrival_ms for a in rows]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert sum(gaps) / len(gaps) == pytest.approx(10.0, rel=0.25)
+
+    def test_explicit_weights_copied_onto_rows(self):
+        rows = batch_arrivals(4, n_tenants=2, weights=(2.0, 1.0), rng=1)
+        by_tenant = {a.tenant: a.weight for a in rows}
+        assert by_tenant == {"t0": 2.0, "t1": 1.0}
+
+
+class TestValidation:
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(0, rate_per_s=1.0)
+        with pytest.raises(ConfigError):
+            poisson_arrivals(5, rate_per_s=0.0)
+        with pytest.raises(ConfigError):
+            batch_arrivals(5, min_records=100, max_records=50)
+        with pytest.raises(ConfigError):
+            bursty_arrivals(5, burst_size=0, burst_gap_ms=1.0)
+        with pytest.raises(ConfigError):
+            batch_arrivals(5, n_tenants=2, weights=(1.0,))
+        with pytest.raises(ConfigError):
+            batch_arrivals(5, n_tenants=2, weights=(1.0, -1.0))
+
+
+class TestRoundTrip:
+    def test_dump_load_identity(self, tmp_path):
+        rows = poisson_arrivals(8, rate_per_s=20.0, n_tenants=2, rng=9)
+        path = tmp_path / "arrivals.json"
+        dump_arrivals(rows, path)
+        assert load_arrivals(path) == rows
+
+    def test_load_rejects_bad_rows(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ConfigError):
+            load_arrivals(path)
+        path.write_text('[{"job_id": "a", "tenant": "t"}]')
+        with pytest.raises(ConfigError, match="bad arrival row"):
+            load_arrivals(path)
+
+    def test_load_rejects_duplicates_and_bad_values(self, tmp_path):
+        import json
+
+        def write(rows):
+            path = tmp_path / "rows.json"
+            path.write_text(json.dumps(rows))
+            return path
+
+        base = {"tenant": "t", "arrival_ms": 0.0, "n_records": 10, "seed": 1}
+        with pytest.raises(ConfigError, match="duplicate"):
+            load_arrivals(
+                write([dict(base, job_id="a"), dict(base, job_id="a")])
+            )
+        with pytest.raises(ConfigError):
+            load_arrivals(write([dict(base, job_id="a", n_records=0)]))
+        with pytest.raises(ConfigError):
+            load_arrivals(write([dict(base, job_id="a", arrival_ms=-1.0)]))
+        with pytest.raises(ConfigError):
+            load_arrivals(write([dict(base, job_id="a", weight=0.0)]))
