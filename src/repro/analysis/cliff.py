@@ -1,0 +1,362 @@
+"""Mapping the makespan cliff: where overlap stops hiding latency.
+
+SRM's §5.5 schedule plus the overlap engine hide disk latency behind
+merge compute — until a straggler gets slow enough (or stalls often
+enough) that no legal read-ahead keeps the merge fed.  Past that point
+the makespan walks away from its lower bound and the critical path
+flips from compute-dominated to read/stall-dominated: the *cliff*.
+
+This module sweeps straggler multipliers (``latency_factors``) and
+stall densities across overlap modes and prefetch depths, one traced
+:func:`~repro.core.mergesort.srm_sort` per grid point, and uses the
+critical-path attribution (:mod:`repro.analysis.critical_path`) to
+record, per point:
+
+* the simulated merge makespan and its busy components;
+* the **overlap gap** — makespan minus the busiest-lane lower bound
+  ``sum over merges of max(cpu busy, busiest disk busy)``, i.e. the
+  latency the schedule failed to hide;
+* the critical-path category (read/write/compute/stall/...) that
+  dominates, locating which resource the cliff hands the makespan to.
+
+When ``adaptive`` is on, every faulted point under an engine-driven
+mode is re-run with a :class:`~repro.core.config.LatencyAwareConfig`
+and the pair is checked for bit-identical output and no-worse makespan
+— the cliff map doubles as the adaptive policy's acceptance harness
+(``repro cliff --check``; the ``cliff-smoke`` CI job runs the quick
+grid).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..core.config import LatencyAwareConfig, OverlapConfig, SRMConfig
+from ..core.mergesort import srm_sort
+from ..faults.plan import FaultPlan, StallWindow
+from ..telemetry import Telemetry
+from .critical_path import analyze_collector, combine_attribution
+
+#: Default straggler multipliers swept (1.0 = fault-free point).
+DEFAULT_FACTORS = (1.0, 2.0, 4.0, 8.0)
+#: Default stall densities (count of stall windows on the victim disk).
+DEFAULT_STALLS = (0, 4)
+#: Default overlap modes: demand-paced reference and full overlap.
+DEFAULT_MODES = ("none", "full")
+#: Default read-ahead depths.
+DEFAULT_DEPTHS = (0, 1, 2)
+
+#: Relative slack for the no-worse gate: simulated clocks are
+#: deterministic, so the adaptive makespan must not exceed the fixed
+#: one beyond float accumulation noise.
+NO_WORSE_RTOL = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class CliffSweepConfig:
+    """Geometry and axes of one cliff sweep."""
+
+    n_records: int = 20_000
+    n_disks: int = 4
+    k: int = 2
+    block_size: int = 16
+    seed: int = 1996
+    #: Per-record merge cost; the default puts compute and a fast
+    #: disk's block service in the same regime, so overlap has
+    #: something to hide and the cliff is visible inside the sweep.
+    cpu_us_per_record: float = 1000.0
+    modes: tuple[str, ...] = DEFAULT_MODES
+    depths: tuple[int, ...] = DEFAULT_DEPTHS
+    factors: tuple[float, ...] = DEFAULT_FACTORS
+    stalls: tuple[int, ...] = DEFAULT_STALLS
+    #: Disk receiving the straggler factor / stall windows.
+    victim_disk: int = 1
+    #: Re-run faulted engine-driven points with the adaptive policy.
+    adaptive: bool = True
+
+    @classmethod
+    def quick(cls, **overrides) -> "CliffSweepConfig":
+        """The CI-sized grid (8 points): one mode, two depths."""
+        defaults = dict(
+            modes=("full",), depths=(0, 2), factors=(1.0, 4.0), stalls=(0, 2)
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass(slots=True)
+class CliffPoint:
+    """One swept grid point (fixed policy, optionally paired adaptive)."""
+
+    mode: str
+    prefetch_depth: int
+    latency_factor: float
+    n_stalls: int
+    makespan_ms: float
+    cpu_busy_ms: float
+    read_stall_ms: float
+    write_stall_ms: float
+    io_busy_ms: float
+    disk_utilization: float
+    #: Busiest-lane lower bound: per merge, the slower of CPU busy and
+    #: the busiest disk's busy time, summed across merges.
+    bound_ms: float
+    #: makespan - bound: simulated latency the schedule failed to hide.
+    overlap_gap_ms: float
+    #: Critical-path category with the largest share of the makespan.
+    dominant: str
+    #: Critical-path attribution (category -> ms on the path).
+    attribution: dict = field(default_factory=dict)
+    #: Critical path tiles the makespan bit-exactly in every domain.
+    exact: bool = True
+    #: Output matched the fault-free sorted reference.
+    sorted_ok: bool = True
+    # -- adaptive pair (None when the point was not re-run) -----------
+    adaptive_makespan_ms: float | None = None
+    adaptive_identical: bool | None = None
+    improvement_pct: float | None = None
+    depth_boosts: int = 0
+    floor_issues: int = 0
+    slow_disks: tuple[int, ...] = ()
+
+    @property
+    def gap_pct(self) -> float:
+        """Overlap gap as a fraction of the makespan (percent)."""
+        if self.makespan_ms <= 0.0:
+            return 0.0
+        return 100.0 * self.overlap_gap_ms / self.makespan_ms
+
+    def row(self) -> dict:
+        """JSONL-serializable record of this point."""
+        d = asdict(self)
+        d["gap_pct"] = round(self.gap_pct, 3)
+        d["slow_disks"] = list(self.slow_disks)
+        return d
+
+
+@dataclass(slots=True)
+class CliffReport:
+    """All points of one sweep plus the geometry that produced them."""
+
+    config: CliffSweepConfig
+    points: list[CliffPoint] = field(default_factory=list)
+
+    def failures(self) -> list[str]:
+        """Gate violations across the grid (empty means all pass)."""
+        bad = []
+        for p in self.points:
+            tag = (
+                f"mode={p.mode} depth={p.prefetch_depth}"
+                f" factor={p.latency_factor} stalls={p.n_stalls}"
+            )
+            if not p.sorted_ok:
+                bad.append(f"{tag}: output not sorted-identical to reference")
+            if not p.exact:
+                bad.append(f"{tag}: critical path does not tile the makespan")
+            if p.adaptive_makespan_ms is not None:
+                if not p.adaptive_identical:
+                    bad.append(f"{tag}: adaptive output differs from fixed")
+                if p.adaptive_makespan_ms > p.makespan_ms * (1 + NO_WORSE_RTOL):
+                    bad.append(
+                        f"{tag}: adaptive makespan {p.adaptive_makespan_ms:.1f}"
+                        f" > fixed {p.makespan_ms:.1f}"
+                    )
+        return bad
+
+    def write_jsonl(self, path) -> None:
+        """One meta line plus one line per grid point."""
+        with open(path, "w", encoding="utf-8") as fh:
+            meta = {"type": "meta", **asdict(self.config)}
+            fh.write(json.dumps(meta) + "\n")
+            for p in self.points:
+                fh.write(json.dumps({"type": "point", **p.row()}) + "\n")
+
+
+def _plan(cfg: CliffSweepConfig, factor: float, n_stalls: int, salt: int):
+    """The deterministic fault plan of one grid point (None = clean)."""
+    factors = {cfg.victim_disk: factor} if factor != 1.0 else {}
+    stalls = tuple(
+        # Recurring windows early in the merge: long enough to bite
+        # (a window covers several block services), spaced so the
+        # disk recovers in between.
+        StallWindow(cfg.victim_disk, 1_000.0 + 3_000.0 * i, 500.0)
+        for i in range(n_stalls)
+    )
+    if not factors and not stalls:
+        return None
+    return FaultPlan(
+        seed=cfg.seed + salt, latency_factors=factors, stalls=stalls
+    )
+
+
+def _traced_sort(keys, srm, cfg, overlap, plan):
+    """One traced sort; returns (output, result, analyses)."""
+    tel = Telemetry(harness="cliff", mode=overlap.mode)
+    col = tel.attach_trace()
+    out, res = srm_sort(
+        keys, srm, rng=cfg.seed + 17, overlap=overlap,
+        telemetry=tel, faults=plan,
+    )
+    tel.finish()
+    return out, res, analyze_collector(col)
+
+
+def _bound_ms(analyses) -> float:
+    """Busiest-lane lower bound, summed over the merge domains."""
+    total = 0.0
+    for a in analyses.values():
+        busiest = max((lane.busy_ms for lane in a.lanes), default=0.0)
+        total += busiest
+    return total
+
+
+def run_cliff(cfg: CliffSweepConfig) -> CliffReport:
+    """Execute the sweep: one (or two) seeded sorts per grid point."""
+    srm = SRMConfig.from_k(cfg.k, cfg.n_disks, cfg.block_size)
+    rng = np.random.default_rng(cfg.seed)
+    keys = rng.integers(0, 2**48, size=cfg.n_records, dtype=np.int64)
+    reference = np.sort(keys)
+    report = CliffReport(config=cfg)
+
+    salt = 0
+    for mode in cfg.modes:
+        for depth in cfg.depths:
+            for factor in cfg.factors:
+                for n_stalls in cfg.stalls:
+                    # Deterministic per-point fault seed (str hashing is
+                    # process-randomized, so enumerate instead).
+                    salt += 1
+                    plan = _plan(cfg, factor, n_stalls, salt)
+                    overlap = OverlapConfig(
+                        mode=mode,
+                        prefetch_depth=depth,
+                        cpu_us_per_record=cfg.cpu_us_per_record,
+                    )
+                    out, res, analyses = _traced_sort(
+                        keys, srm, cfg, overlap, plan
+                    )
+                    attr = combine_attribution(analyses.values())
+                    attr = {c: round(v, 3) for c, v in attr.items() if v}
+                    makespan = res.simulated_merge_ms
+                    bound = _bound_ms(analyses)
+                    point = CliffPoint(
+                        mode=mode,
+                        prefetch_depth=depth,
+                        latency_factor=factor,
+                        n_stalls=n_stalls,
+                        makespan_ms=makespan,
+                        cpu_busy_ms=sum(
+                            r.cpu_busy_ms for r in res.overlap_reports
+                        ),
+                        read_stall_ms=sum(
+                            r.read_stall_ms for r in res.overlap_reports
+                        ),
+                        write_stall_ms=sum(
+                            r.write_stall_ms for r in res.overlap_reports
+                        ),
+                        io_busy_ms=sum(
+                            r.io_busy_ms for r in res.overlap_reports
+                        ),
+                        disk_utilization=(
+                            sum(
+                                r.disk_utilization * r.makespan_ms
+                                for r in res.overlap_reports
+                            )
+                            / makespan
+                            if makespan
+                            else 0.0
+                        ),
+                        bound_ms=bound,
+                        overlap_gap_ms=makespan - bound,
+                        dominant=max(attr, key=attr.get) if attr else "none",
+                        attribution=attr,
+                        exact=all(a.exact for a in analyses.values()),
+                        sorted_ok=bool(np.array_equal(out, reference)),
+                    )
+                    if (
+                        cfg.adaptive
+                        and plan is not None
+                        and mode != "none"
+                    ):
+                        plan2 = _plan(cfg, factor, n_stalls, salt)
+                        adaptive = OverlapConfig(
+                            mode=mode,
+                            prefetch_depth=depth,
+                            cpu_us_per_record=cfg.cpu_us_per_record,
+                            latency=LatencyAwareConfig(),
+                        )
+                        a_out, a_res, _ = _traced_sort(
+                            keys, srm, cfg, adaptive, plan2
+                        )
+                        point.adaptive_makespan_ms = a_res.simulated_merge_ms
+                        point.adaptive_identical = bool(
+                            np.array_equal(a_out, out)
+                        )
+                        point.improvement_pct = (
+                            100.0
+                            * (1.0 - point.adaptive_makespan_ms / makespan)
+                            if makespan
+                            else 0.0
+                        )
+                        point.depth_boosts = sum(
+                            r.depth_boosts for r in a_res.overlap_reports
+                        )
+                        point.floor_issues = sum(
+                            r.floor_issues for r in a_res.overlap_reports
+                        )
+                        point.slow_disks = tuple(
+                            sorted(
+                                {
+                                    d
+                                    for r in a_res.overlap_reports
+                                    for d in r.slow_disks
+                                }
+                            )
+                        )
+                    report.points.append(point)
+    return report
+
+
+def render_cliff(report: CliffReport) -> str:
+    """The human-readable grid: one row per point, gap and verdicts."""
+    lines = [
+        "cliff map: makespan vs straggler factor / stall density",
+        f"  n={report.config.n_records} D={report.config.n_disks}"
+        f" k={report.config.k} B={report.config.block_size}"
+        f" cpu={report.config.cpu_us_per_record}us/rec"
+        f" victim=disk{report.config.victim_disk}",
+        "",
+        f"{'mode':8s} {'depth':>5s} {'factor':>6s} {'stalls':>6s}"
+        f" {'makespan':>12s} {'gap%':>6s} {'dominant':>9s}"
+        f" {'adaptive':>12s} {'improve':>8s}",
+    ]
+    for p in report.points:
+        adaptive = (
+            f"{p.adaptive_makespan_ms:12.1f}"
+            if p.adaptive_makespan_ms is not None
+            else f"{'-':>12s}"
+        )
+        improve = (
+            f"{p.improvement_pct:7.2f}%"
+            if p.improvement_pct is not None
+            else f"{'-':>8s}"
+        )
+        lines.append(
+            f"{p.mode:8s} {p.prefetch_depth:5d} {p.latency_factor:6.1f}"
+            f" {p.n_stalls:6d} {p.makespan_ms:12.1f} {p.gap_pct:6.1f}"
+            f" {p.dominant:>9s} {adaptive} {improve}"
+        )
+    fails = report.failures()
+    lines.append("")
+    if fails:
+        lines.append(f"FAIL ({len(fails)}):")
+        lines.extend(f"  {f}" for f in fails)
+    else:
+        lines.append(
+            "all points: output identical, attribution exact,"
+            " adaptive no worse than fixed"
+        )
+    return "\n".join(lines)

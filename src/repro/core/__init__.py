@@ -9,6 +9,7 @@ the §6 phase accounting.
 from .config import (
     OVERLAP_MODES,
     DSMConfig,
+    LatencyAwareConfig,
     OverlapConfig,
     SRMConfig,
     memory_records_for_k,
@@ -54,6 +55,7 @@ __all__ = [
     "DSMConfig",
     "SRMConfig",
     "OVERLAP_MODES",
+    "LatencyAwareConfig",
     "OverlapConfig",
     "OverlapEngine",
     "OverlapReport",

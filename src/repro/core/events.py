@@ -31,13 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..disks.service import ServiceNetwork
+from ..disks.service import ServiceEwma, ServiceNetwork
 from ..disks.timing import DiskTimingModel
 from ..errors import ConfigError
-from ..telemetry import TELEMETRY_OFF
-from ..telemetry.schema import EV_OVERLAP_DISKS, H_OVERLAP_QUEUE_DEPTH
+from ..telemetry import NULL_METRIC, TELEMETRY_OFF
+from ..telemetry.schema import (
+    ADAPTIVE_DEPTH_BOOSTS,
+    ADAPTIVE_FLOOR_ISSUES,
+    ADAPTIVE_SLOW_DISKS,
+    EV_OVERLAP_DISKS,
+    H_OVERLAP_QUEUE_DEPTH,
+)
 from ..telemetry.trace import NetTracer
-from .config import OVERLAP_MODES
+from .config import OVERLAP_MODES, LatencyAwareConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .schedule import MergeScheduler
@@ -70,6 +76,14 @@ class OverlapReport:
         ``ParRead`` operations issued on a stall vs. ahead of demand.
     writes:
         Parallel write operations (output stripes).
+    adaptive:
+        True when the engine ran with an enabled
+        :class:`~repro.core.config.LatencyAwareConfig`.
+    depth_boosts / floor_issues:
+        Pumps that ran with a deepened read-ahead window, and eager
+        reads issued by the slow-disk floor beyond the nominal window.
+    slow_disks:
+        Disks the service-time EWMA classified as slow at merge end.
     """
 
     mode: str
@@ -83,6 +97,10 @@ class OverlapReport:
     demand_reads: int
     eager_reads: int
     writes: int
+    adaptive: bool = False
+    depth_boosts: int = 0
+    floor_issues: int = 0
+    slow_disks: tuple[int, ...] = ()
 
     @property
     def cpu_stall_ms(self) -> float:
@@ -134,6 +152,12 @@ class OverlapEngine:
         straggler factors, floors starts at stall-window ends, and
         drains the retry/backoff penalties the synchronous data path
         accumulated — so fault cost shows up in the simulated makespan.
+    latency:
+        Optional :class:`~repro.core.config.LatencyAwareConfig`.  When
+        given and enabled, the engine arms a per-disk service-time EWMA
+        on the network and steers the read-ahead window and eager-issue
+        floor toward slow disks (see :meth:`pump`); ``None`` (or
+        ``enabled=False``) keeps the fixed policy bit-identical.
     """
 
     def __init__(
@@ -147,6 +171,7 @@ class OverlapEngine:
         telemetry=None,
         faults=None,
         job_tag: str | None = None,
+        latency: LatencyAwareConfig | None = None,
     ) -> None:
         if mode not in OVERLAP_MODES:
             raise ConfigError(
@@ -177,9 +202,23 @@ class OverlapEngine:
         self._write_done = 0.0
         self._eager_issue = False  # set by pump() around maybe_prefetch()
         self._tel = telemetry if telemetry is not None else TELEMETRY_OFF
-        # Queue depth is in-flight blocks; the window holds at most
-        # prefetch_depth * D of them, so one bucket per possible depth.
-        depth_cap = max(1, self._window)
+        # Latency-adaptive policy: armed only when a config is attached
+        # AND enabled, so the default path stays bit-identical.
+        self.latency = latency if latency is not None and latency.enabled else None
+        self.depth_boosts = 0
+        self.floor_issues = 0
+        if self.latency is not None:
+            self.net.ewma = ServiceEwma(n_disks, self.latency.ewma_alpha)
+            self._m_depth_boosts = self._tel.counter(ADAPTIVE_DEPTH_BOOSTS)
+            self._m_floor_issues = self._tel.counter(ADAPTIVE_FLOOR_ISSUES)
+        else:
+            self._m_depth_boosts = NULL_METRIC
+            self._m_floor_issues = NULL_METRIC
+        # Queue depth is in-flight blocks.  Capacity is the eager
+        # window *plus* one demand ParRead of width <= D that can be
+        # outstanding on top of it — so demand mode (window 0) still
+        # gets D+1 distinct buckets instead of collapsing to one.
+        depth_cap = self._window + n_disks
         self._h_depth = self._tel.histogram(
             H_OVERLAP_QUEUE_DEPTH,
             tuple(float(v) for v in range(0, depth_cap + 1)),
@@ -295,17 +334,79 @@ class OverlapEngine:
             self.now = done
         self.writes += 1
 
+    # -- latency-adaptive policy -------------------------------------------
+
+    def slow_disks(self) -> tuple[int, ...]:
+        """Disks the EWMA currently classifies as slow (empty if fixed)."""
+        if self.latency is None or self.net.ewma is None:
+            return ()
+        return self.net.ewma.slow_disks(self.latency.slow_threshold)
+
+    def disk_cost(self, disk: int) -> float:
+        """Measured re-read penalty of *disk* (EWMA ms; 0.0 unless slow).
+
+        Handed to :class:`~repro.core.schedule.MergeScheduler` as its
+        ``flush_cost`` hook so flush victims bias toward blocks that
+        will be re-read from fast disks.  Only disks the EWMA currently
+        *classifies* as slow carry a penalty: while the farm looks
+        homogeneous every disk costs 0.0 and the biased eviction reduces
+        exactly to the Definition 6 highest-key choice.
+        """
+        ewma = self.net.ewma
+        if ewma is None or disk not in self.slow_disks():
+            return 0.0
+        return ewma.cost(disk)
+
+    def _slow_with_blocks(self, sched: "MergeScheduler") -> tuple[int, ...]:
+        """Slow disks that still offer unfetched blocks to the merge."""
+        return tuple(
+            d for d in self.slow_disks()
+            if sched.fds.smallest_block_on_disk(d) is not None
+        )
+
+    def _starved_slow(self, slow: tuple[int, ...], sched: "MergeScheduler") -> bool:
+        """True when some slow disk sits idle with blocks still on it.
+
+        This is the only state extra eagerness can improve: a backlogged
+        straggler is already rate-limited by its own service time, and
+        deepening the window then just raises ``M_R`` occupancy (more
+        flushes, more re-reads) without feeding it any faster.
+        """
+        return any(
+            self.net.disks[d].free_at <= self.now
+            and sched.fds.smallest_block_on_disk(d) is not None
+            for d in slow
+        )
+
     # -- read-ahead --------------------------------------------------------
 
     def pump(self, sched: "MergeScheduler") -> int:
         """Issue eager case-2a reads while the read-ahead window has room.
 
+        With an enabled :class:`~repro.core.config.LatencyAwareConfig`
+        the window deepens by ``depth_boost`` ParReads while a slow disk
+        still offers blocks (its long service hides behind more merge
+        compute), and an eager-issue *floor* tops up after the window
+        loop whenever a slow disk sits idle with blocks remaining — so a
+        straggler's queue never starves the merge.  Both knobs are inert
+        without the config: the fixed path issues exactly the same reads
+        as before.
+
         Returns the number of ``ParRead`` operations issued.
         """
-        if self.mode == "none" or self._window <= 0:
+        lat = self.latency
+        if self.mode == "none" or (self._window <= 0 and lat is None):
             return 0
+        window = self._window
+        slow: tuple[int, ...] = ()
+        if lat is not None:
+            slow = self._slow_with_blocks(sched)
+            if slow and lat.depth_boost > 0 and self._starved_slow(slow, sched):
+                window += lat.depth_boost * self.net.n_disks
+                self.depth_boosts += 1
+                self._m_depth_boosts.inc()
         issued = 0
-        while len(self._prefetched) < self._window:
+        while len(self._prefetched) < window:
             self._eager_issue = True
             try:
                 if not sched.maybe_prefetch():
@@ -313,6 +414,22 @@ class OverlapEngine:
             finally:
                 self._eager_issue = False
             issued += 1
+        if lat is not None and slow and lat.min_eager_per_pump > 0:
+            for _ in range(lat.min_eager_per_pump):
+                # Refill only while a slow disk is starved *now*: each
+                # eager read services every disk with pending blocks, so
+                # one check gates the batch.
+                if not self._starved_slow(slow, sched):
+                    break
+                self._eager_issue = True
+                try:
+                    if not sched.maybe_prefetch():
+                        break
+                finally:
+                    self._eager_issue = False
+                issued += 1
+                self.floor_issues += 1
+                self._m_floor_issues.inc()
         return issued
 
     # -- completion --------------------------------------------------------
@@ -322,10 +439,13 @@ class OverlapEngine:
         makespan = max(self.now, self._write_done, self.net.drained_completion_ms())
         if self._trace is not None:
             self._trace.summary(self._dom, makespan)
+        slow = self.slow_disks()
+        if self.latency is not None:
+            self._tel.gauge(ADAPTIVE_SLOW_DISKS).set(len(slow))
         self._tel.event(
             EV_OVERLAP_DISKS,
             makespan_ms=makespan,
-            disks=self.net.per_disk_summary(),
+            disks=self.net.per_disk_summary(makespan),
         )
         return OverlapReport(
             mode=self.mode,
@@ -339,4 +459,8 @@ class OverlapEngine:
             demand_reads=self.demand_reads,
             eager_reads=self.eager_reads,
             writes=self.writes,
+            adaptive=self.latency is not None,
+            depth_boosts=self.depth_boosts,
+            floor_issues=self.floor_issues,
+            slow_disks=slow,
         )

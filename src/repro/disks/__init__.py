@@ -43,7 +43,7 @@ from .striping import (
     chain_start_index,
     cyclic_disk,
 )
-from .service import DiskService, ServiceNetwork
+from .service import DiskService, ServiceEwma, ServiceNetwork
 from .system import BlockAddress, ParallelDiskSystem
 from .timing import DISK_1996, DISK_MODERN, DiskTimingModel
 
@@ -76,6 +76,7 @@ __all__ = [
     "BlockAddress",
     "ParallelDiskSystem",
     "DiskService",
+    "ServiceEwma",
     "ServiceNetwork",
     "DiskTimingModel",
     "DISK_1996",

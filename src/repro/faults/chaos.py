@@ -29,6 +29,7 @@ import numpy as np
 from ..baselines.dsm import dsm_sort
 from ..core.config import (
     DSMConfig,
+    LatencyAwareConfig,
     OverlapConfig,
     SRMConfig,
     memory_records_for_k,
@@ -75,10 +76,18 @@ class ChaosScenario:
         ``"write_faults"`` (transient write failures must have fired),
         ``"torn"`` (torn writes injected and every one detected),
         ``"recovery_reads"`` (charged parity reconstruction reads > 0),
-        ``"double_death"`` (at least two disks died).  Cluster-sweep
-        results add ``"node_loss"`` (a node died and its rebuild charged
-        re-sent blocks and re-reads) and ``"skew"`` (partition skew must
-        stay under the recorded ``_skew_bound``).
+        ``"double_death"`` (at least two disks died),
+        ``"adaptive"`` (the latency-adaptive rerun must produce
+        bit-identical output at a makespan no worse than the fixed
+        policy's).  Cluster-sweep results add ``"node_loss"`` (a node
+        died and its rebuild charged re-sent blocks and re-reads) and
+        ``"skew"`` (partition skew must stay under the recorded
+        ``_skew_bound``).
+    adaptive:
+        Rerun the scenario with the latency-adaptive scheduler armed
+        (same plan, same seed) and record the adaptive-vs-fixed pair:
+        ``adaptive_makespan_ms`` and ``adaptive_identical`` in the
+        stats.  Only meaningful with ``overlap=True``.
     """
 
     name: str
@@ -88,6 +97,7 @@ class ChaosScenario:
     retry: RetryPolicy | None = None
     dsm: bool = True
     expect: frozenset = frozenset()
+    adaptive: bool = False
 
 
 @dataclass
@@ -208,6 +218,22 @@ class ChaosReport:
                     f"{tag}: plan kills two disks but "
                     f"{s.get('disk_deaths', 0)} died"
                 )
+            if "adaptive" in expect:
+                if s.get("adaptive_identical") is not True:
+                    msgs.append(
+                        f"{tag}: latency-adaptive rerun output differs "
+                        "from the fixed-policy run"
+                    )
+                a_ms = s.get("adaptive_makespan_ms")
+                if a_ms is None or r.makespan_ms is None:
+                    msgs.append(
+                        f"{tag}: latency-adaptive rerun recorded no makespan"
+                    )
+                elif a_ms > r.makespan_ms * (1.0 + 1e-9):
+                    msgs.append(
+                        f"{tag}: adaptive makespan {a_ms:.1f}ms is worse "
+                        f"than the fixed policy's {r.makespan_ms:.1f}ms"
+                    )
             if "node_loss" in expect:
                 if s.get("node_losses", 0) < 1:
                     msgs.append(
@@ -401,6 +427,8 @@ def default_scenarios(
             plan=FaultPlan(seed=seed + 3, latency_factors={1 % n_disks: 4.0}),
             overlap=True,
             dsm=False,
+            adaptive=True,
+            expect=frozenset({"adaptive"}),
         ),
         ChaosScenario(
             name="stall",
@@ -411,6 +439,8 @@ def default_scenarios(
             ),
             overlap=True,
             dsm=False,
+            adaptive=True,
+            expect=frozenset({"adaptive"}),
         ),
         ChaosScenario(
             name="breaker",
@@ -515,6 +545,10 @@ def run_chaos(
     # the death inside the merge phase.
     death_after = max(1, ref_res.total_parallel_ios // 2)
     overlap_cfg = OverlapConfig(mode="full", prefetch_depth=2)
+    # The adaptive-vs-fixed pair: identical geometry, latency plane armed.
+    adaptive_cfg = OverlapConfig(
+        mode="full", prefetch_depth=2, latency=LatencyAwareConfig()
+    )
     ref_overlap_ms: float | None = None
     ref_attr: dict | None = None
     # Lazy: analysis pulls in the whole package graph.
@@ -562,6 +596,21 @@ def run_chaos(
                         makespan = res.simulated_merge_ms
                         if ref_overlap_ms:
                             overhead = 100.0 * (makespan / ref_overlap_ms - 1.0)
+                    if sc.overlap and sc.adaptive:
+                        # Same plan, same seed, same geometry — only the
+                        # latency-adaptive plane differs, so the pair
+                        # isolates the policy's effect.
+                        a_out, a_res = srm_sort(
+                            keys,
+                            srm_cfg,
+                            rng=seed + 17,
+                            overlap=adaptive_cfg,
+                            faults=sc.plan,
+                        )
+                        adaptive_ms = a_res.simulated_merge_ms
+                        adaptive_identical = bool(np.array_equal(a_out, out))
+                    else:
+                        adaptive_ms = adaptive_identical = None
                 else:
                     out, res = dsm_sort(
                         keys, dsm_cfg, telemetry=tel, faults=_armed(sc, n_disks, tel)
@@ -569,6 +618,9 @@ def run_chaos(
                 system = res.system
                 stats = system.faults.stats.snapshot()
                 stats["_expect"] = sorted(sc.expect)
+                if algo == "srm" and sc.adaptive and adaptive_ms is not None:
+                    stats["adaptive_makespan_ms"] = adaptive_ms
+                    stats["adaptive_identical"] = adaptive_identical
                 if algo == "srm" and sc.overlap and col is not None:
                     analyses = analyze_collector(col)
                     attr = combine_attribution(analyses.values())

@@ -168,3 +168,80 @@ class TestTiming:
             assert rep.cpu_stall_ms == pytest.approx(
                 rep.read_stall_ms + rep.write_stall_ms
             )
+
+
+class TestDepthHistogram:
+    """Regression: the queue-depth histogram at prefetch_depth=0."""
+
+    def _edges(self, depth):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.schema import H_OVERLAP_QUEUE_DEPTH
+
+        tel = Telemetry(harness="test")
+        OverlapEngine(
+            DISK_1996, B, D, 1.0, mode="full", prefetch_depth=depth,
+            telemetry=tel,
+        )
+        return tel.registry.get(H_OVERLAP_QUEUE_DEPTH).snapshot()["edges"]
+
+    def test_depth_zero_keeps_demand_parread_resolution(self):
+        # A demand ParRead puts up to D blocks in flight even with no
+        # eager window, so the histogram needs 0..D edges — it used to
+        # collapse to a single bucket at depth 0 and lose the signal.
+        assert self._edges(0) == [float(v) for v in range(D + 1)]
+
+    def test_depth_cap_covers_window_plus_demand(self):
+        # With read-ahead, capacity is the eager window plus one
+        # outstanding demand ParRead of width <= D.
+        assert self._edges(2) == [float(v) for v in range(2 * D + D + 1)]
+
+
+class TestAdaptiveEngine:
+    """Unit surface of the latency-adaptive plane on the engine."""
+
+    def _engine(self, latency=None):
+        from repro.core import LatencyAwareConfig
+
+        if latency is None:
+            latency = LatencyAwareConfig()
+        return OverlapEngine(
+            DISK_1996, B, D, 1.0, mode="full", prefetch_depth=1,
+            latency=latency,
+        )
+
+    def test_fixed_engine_has_no_slow_disks(self):
+        eng = OverlapEngine(DISK_1996, B, D, 1.0, mode="full")
+        assert eng.latency is None
+        assert eng.net.ewma is None
+        assert eng.slow_disks() == ()
+        assert eng.disk_cost(0) == 0.0
+
+    def test_disabled_config_keeps_fixed_path(self):
+        from repro.core import LatencyAwareConfig
+
+        eng = self._engine(LatencyAwareConfig(enabled=False))
+        assert eng.latency is None
+        assert eng.net.ewma is None
+
+    def test_homogeneous_service_classifies_nobody(self):
+        eng = self._engine()
+        eng.net.submit([0, 1, 2, 3], 0.0)
+        assert eng.slow_disks() == ()
+        assert all(eng.disk_cost(d) == 0.0 for d in range(D))
+
+    def test_straggler_classified_and_costed(self):
+        eng = self._engine()
+        base = DISK_1996.op_time_ms(B)
+        # Hand-feed the EWMA a 4x straggler on disk 1.
+        for d in range(D):
+            eng.net.ewma.observe(d, base * (4.0 if d == 1 else 1.0))
+        assert eng.slow_disks() == (1,)
+        assert eng.disk_cost(1) == pytest.approx(4.0 * base)
+        # Fast disks carry no penalty, so the flush bias stays inert
+        # for them (Definition 6 order).
+        assert eng.disk_cost(0) == 0.0
+
+    def test_single_observed_disk_has_no_peer_group(self):
+        eng = self._engine()
+        eng.net.ewma.observe(2, 100.0)
+        assert eng.slow_disks() == ()
